@@ -1,0 +1,175 @@
+// Package repro's root benchmark suite: one testing.B target per experiment
+// in DESIGN.md §5 (each regenerates its table in quick mode), plus
+// micro-benchmarks of the primitives that dominate the harness' runtime
+// (round steppers, eigensolvers, sequentialization).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one paper table at full size instead:
+//
+//	go run ./cmd/lbbench -exp E3
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/diffusion"
+	"repro/internal/dimexchange"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/randpair"
+	"repro/internal/sequential"
+	"repro/internal/spectral"
+	"repro/internal/workload"
+)
+
+// benchExperiment runs one experiment table per iteration in quick mode.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := runner(experiments.Options{Seed: int64(i + 1), Quick: true})
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1SequentialDrop(b *testing.B)          { benchExperiment(b, "E1") }
+func BenchmarkE2ConcurrencyGap(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3ContinuousConvergence(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4DiscreteConvergence(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5DynamicContinuous(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6DynamicDiscrete(b *testing.B)         { benchExperiment(b, "E6") }
+func BenchmarkE7PartnerDegree(b *testing.B)           { benchExperiment(b, "E7") }
+func BenchmarkE8PotentialIdentity(b *testing.B)       { benchExperiment(b, "E8") }
+func BenchmarkE9RandomPartners(b *testing.B)          { benchExperiment(b, "E9") }
+func BenchmarkE10RandomPartnersDiscrete(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11VsDimensionExchange(b *testing.B)    { benchExperiment(b, "E11") }
+func BenchmarkE12VsFirstSecondOrder(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13LocalDivergence(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14BallsBins(b *testing.B)              { benchExperiment(b, "E14") }
+func BenchmarkE15FlowOptimality(b *testing.B)         { benchExperiment(b, "E15") }
+func BenchmarkE16CommunicationCost(b *testing.B)      { benchExperiment(b, "E16") }
+func BenchmarkE17ResidualScaling(b *testing.B)        { benchExperiment(b, "E17") }
+func BenchmarkE18ContractionRate(b *testing.B)        { benchExperiment(b, "E18") }
+func BenchmarkE19Interconnects(b *testing.B)          { benchExperiment(b, "E19") }
+func BenchmarkA1DiffusionFactor(b *testing.B)         { benchExperiment(b, "A1") }
+func BenchmarkA2ActivationOrder(b *testing.B)         { benchExperiment(b, "A2") }
+func BenchmarkA3Rounding(b *testing.B)                { benchExperiment(b, "A3") }
+func BenchmarkA4OPSComparison(b *testing.B)           { benchExperiment(b, "A4") }
+func BenchmarkA5SyncVsAsync(b *testing.B)             { benchExperiment(b, "A5") }
+func BenchmarkA6Heterogeneous(b *testing.B)           { benchExperiment(b, "A6") }
+func BenchmarkA7PsiExact(b *testing.B)                { benchExperiment(b, "A7") }
+func BenchmarkA8MatchingSchedule(b *testing.B)        { benchExperiment(b, "A8") }
+
+// --- primitive micro-benchmarks ---
+
+func benchGraph() *graph.G { return graph.Torus(32, 32) } // 1024 nodes, 2048 edges
+
+func BenchmarkDiffusionStepContinuous(b *testing.B) {
+	g := benchGraph()
+	init := workload.Continuous(workload.Spike, g.N(), 1e9, nil)
+	st := diffusion.NewContinuous(g, init)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step()
+	}
+}
+
+func BenchmarkDiffusionStepContinuousParallel(b *testing.B) {
+	g := benchGraph()
+	init := workload.Continuous(workload.Spike, g.N(), 1e9, nil)
+	st := diffusion.NewContinuous(g, init)
+	st.Workers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step()
+	}
+}
+
+func BenchmarkDiffusionStepDiscrete(b *testing.B) {
+	g := benchGraph()
+	init := workload.Discrete(workload.Spike, g.N(), 1_000_000_000, nil)
+	st := diffusion.NewDiscrete(g, init)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step()
+	}
+}
+
+func BenchmarkDimExchangeStep(b *testing.B) {
+	g := benchGraph()
+	rng := rand.New(rand.NewSource(1))
+	init := workload.Continuous(workload.Spike, g.N(), 1e9, nil)
+	st := dimexchange.NewContinuous(g, init, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step()
+	}
+}
+
+func BenchmarkRandPairStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	init := workload.Continuous(workload.Spike, 1024, 1e9, nil)
+	st := randpair.NewContinuous(init, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Step()
+	}
+}
+
+func BenchmarkSequentializeRound(b *testing.B) {
+	g := benchGraph()
+	rng := rand.New(rand.NewSource(1))
+	l := workload.Continuous(workload.Uniform, g.N(), 1e6, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sequential.Sequentialize(g, l, sequential.IncreasingWeight, rng)
+	}
+}
+
+func BenchmarkLambda2Dense(b *testing.B) {
+	g := graph.Torus(12, 12) // 144 nodes: dense Householder+QL path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.LaplacianSpectrum(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLambda2InversePower(b *testing.B) {
+	g := graph.Torus(32, 32) // 1024 nodes: CG inverse-power path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectral.Lambda2InversePower(g, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomMatching(b *testing.B) {
+	g := benchGraph()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dimexchange.RandomMatching(g, rng)
+	}
+}

@@ -1,0 +1,85 @@
+// Command lbbench regenerates the paper-reproduction experiment tables.
+//
+// Usage:
+//
+//	lbbench -exp all            # run every experiment (E1–E14, A1–A3)
+//	lbbench -exp E3,E4          # run selected experiments
+//	lbbench -exp E9 -seed 7     # change the seed
+//	lbbench -list               # list experiment ids
+//	lbbench -quick              # shrunk sweeps (CI-sized)
+//	lbbench -csv                # CSV instead of aligned tables
+//
+// Each experiment prints one table pairing the measured quantity with the
+// paper's bound; see DESIGN.md §5 for the experiment ↔ theorem mapping and
+// EXPERIMENTS.md for a recorded reference run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed  = flag.Int64("seed", 1, "seed for randomized components")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if _, ok := experiments.Lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "lbbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "lbbench: no experiments selected")
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	for _, id := range ids {
+		runner, _ := experiments.Lookup(id)
+		start := time.Now()
+		table := runner(opts)
+		elapsed := time.Since(start)
+		var err error
+		if *csv {
+			err = table.RenderCSV(os.Stdout)
+		} else {
+			err = table.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: rendering %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("[%s completed in %v]\n\n", id, elapsed.Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command lbcurves emits the convergence curves Φ(t) of several schemes on
+// one instance as CSV — the "figure generator" counterpart of lbbench's
+// tables. Feed the output to any plotting tool.
+//
+// Usage:
+//
+//	lbcurves -topo torus -n 64 -rounds 300 > curves.csv
+//	lbcurves -topo cycle -n 64 -algs diffusion,secondorder -log
+//
+// Columns: x (round), then one column per algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topoparse"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		topo   = flag.String("topo", "torus", "topology family (see cmd/lbsim)")
+		n      = flag.Int("n", 64, "approximate node count")
+		algs   = flag.String("algs", "diffusion,dimexchange,randpair,firstorder,secondorder", "comma-separated algorithms")
+		rounds = flag.Int("rounds", 300, "rounds to record")
+		total  = flag.Float64("total", 1e6, "spike load on node 0")
+		seed   = flag.Int64("seed", 1, "seed for randomized algorithms")
+		logY   = flag.Bool("log", false, "emit log10(Φ) instead of Φ")
+	)
+	flag.Parse()
+
+	g, err := topoparse.Build(*topo, *n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var series []*trace.Series
+	for _, name := range strings.Split(*algs, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		alg, err := core.ParseAlgorithm(name)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := core.Balance(core.Config{
+			Graph:     g,
+			Algorithm: alg,
+			Loads:     core.SpikeLoads(g.N(), *total),
+			Epsilon:   1e-300, // never stop on ε; the round cap drives the run
+			Seed:      *seed,
+			MaxRounds: *rounds,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		s := &trace.Series{Name: name}
+		for t, phi := range res.Trace {
+			y := phi
+			if *logY {
+				if phi <= 0 {
+					break
+				}
+				y = math.Log10(phi)
+			}
+			s.Append(float64(t), y)
+		}
+		series = append(series, s)
+	}
+	if len(series) == 0 {
+		fatal(fmt.Errorf("no algorithms selected"))
+	}
+	if err := trace.RenderSeries(os.Stdout, series...); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbcurves:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Clustersim: an HPC-flavoured scenario. A 2-D torus of compute nodes
+// receives a skewed batch of jobs (power-law sizes landing on a handful of
+// ingest nodes — the situation the diffusion literature motivates), and we
+// compare three ways of spreading the work:
+//
+//   - Algorithm 1 (the paper's concurrent diffusion),
+//   - dimension exchange via random matchings [12] (the baseline the paper
+//     claims to beat by a constant factor),
+//   - Algorithm 2 (random partners — "work stealing from a random peer").
+//
+// Jobs are indivisible (discrete mode), so the run also shows the residual
+// imbalance each method is left with — Theorem 6's 64δ³n/λ₂ for diffusion.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		side      = 12 // 12×12 torus = 144 nodes
+		totalJobs = 10_000_000
+		seed      = 2026
+	)
+	g := graph.Torus(side, side)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Skewed arrival: power-law job mass, then pile 60% of it on 4 ingest
+	// nodes to model a hot ingress rack.
+	loads := workload.Discrete(workload.PowerLaw, g.N(), totalJobs*4/10, rng)
+	hot := int64(totalJobs) * 6 / 10
+	for i := 0; i < 4; i++ {
+		loads[i*side] += hot / 4
+	}
+	asFloat := make([]float64, len(loads))
+	for i, v := range loads {
+		asFloat[i] = float64(v)
+	}
+
+	lambda2 := spectral.MustLambda2(g)
+	fmt.Printf("cluster: %s   λ₂ = %.4g, δ = %d\n", g, lambda2, g.MaxDegree())
+	fmt.Printf("jobs   : %d total, 60%% on 4 ingest nodes\n\n", totalJobs)
+
+	for _, alg := range []core.Algorithm{core.Diffusion, core.DimensionExchange, core.RandomPartners} {
+		res, err := core.Balance(core.Config{
+			Graph:     g,
+			Algorithm: alg,
+			Mode:      core.Discrete,
+			Loads:     asFloat,
+			Epsilon:   1e-6,
+			Seed:      seed,
+			MaxRounds: 2_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s rounds=%-7d Φ: %.4g → %.4g", alg.String(), res.Rounds, res.PhiStart, res.PhiEnd)
+		if res.Bound > 0 {
+			fmt.Printf("   [%s bound %.0f]", res.BoundName, res.Bound)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nExpected shape (paper §3): among the neighbourhood balancers,")
+	fmt.Println("diffusion beats dimension exchange by a constant factor (it touches")
+	fmt.Println("all edges per round, a matching touches at most n/2). Random partners")
+	fmt.Println("wins outright because its communication graph is global — the price")
+	fmt.Println("is non-local traffic, and its discrete variant stops at the 3200n")
+	fmt.Println("residual of Theorem 14.")
+}

@@ -1,0 +1,71 @@
+// Dynamicnet: a P2P-flavoured scenario for the §5 dynamic-network model.
+// A 64-node overlay keeps its node set but loses a random subset of links
+// every round (churn). We run the continuous and discrete Algorithm 1
+// against increasingly unreliable link layers and report the rounds needed
+// next to the Theorem 7/8 bounds built from the measured per-round
+// λ₂⁽ᵏ⁾/δ⁽ᵏ⁾ averages.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func main() {
+	const (
+		seed = 7
+		eps  = 1e-4
+	)
+	base := graph.Hypercube(6) // 64-node overlay
+	fmt.Printf("overlay: %s, links survive each round with probability p\n\n", base)
+
+	fmt.Println("— continuous (Theorem 7) —")
+	fmt.Printf("%-8s %-8s %-10s %-12s %-8s\n", "p", "rounds", "A_K", "bound", "K/bound")
+	for _, p := range []float64{1.0, 0.9, 0.7, 0.5, 0.3} {
+		seq := &dynamic.RandomSubgraphs{Base: base, KeepProb: p, RNG: rand.New(rand.NewSource(seed))}
+		init := workload.Continuous(workload.Spike, base.N(), 1e9, nil)
+		phi0 := potential(init)
+		res := dynamic.RunContinuous(seq, init, eps*phi0, 200000, true)
+		bound := math.NaN()
+		if res.AK > 0 {
+			bound = 4 * math.Log(1/eps) / res.AK
+		}
+		fmt.Printf("%-8.2f %-8d %-10.4f %-12.1f %-8.3f\n",
+			p, res.Rounds(), res.AK, bound, float64(res.Rounds())/bound)
+	}
+
+	fmt.Println("\n— discrete (Theorem 8) —")
+	fmt.Printf("%-8s %-8s %-12s %-12s\n", "p", "rounds", "Φ end", "Φ* threshold")
+	for _, p := range []float64{1.0, 0.7, 0.4} {
+		seq := &dynamic.RandomSubgraphs{Base: base, KeepProb: p, RNG: rand.New(rand.NewSource(seed + 1))}
+		init := workload.Discrete(workload.Spike, base.N(), 1_000_000_000, nil)
+		pilot := dynamic.RunDiscrete(seq, init, 0, 5000, true)
+		phiStar := dynamic.Theorem8Threshold(base.N(), pilot.Stats)
+		res := dynamic.RunDiscrete(seq, init, phiStar, 200000, true)
+		fmt.Printf("%-8.2f %-8d %-12.4g %-12.4g\n", p, res.Rounds(), res.PhiEnd, phiStar)
+	}
+
+	fmt.Println("\nShape to observe: as p drops, per-round connectivity (λ₂⁽ᵏ⁾) and")
+	fmt.Println("hence A_K shrink, and the measured rounds grow like 1/A_K — but the")
+	fmt.Println("run always stays within the Theorem 7/8 budget, including rounds in")
+	fmt.Println("which the overlay is disconnected (they simply contribute 0 to A_K).")
+}
+
+func potential(v []float64) float64 {
+	var mean float64
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	var s float64
+	for _, x := range v {
+		d := x - mean
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,309 @@
+// Package core is the top-level facade of the library: a single, documented
+// entry point that wires together the topology (internal/graph), the
+// balancing algorithms (internal/diffusion, internal/dimexchange,
+// internal/randpair), the spectral analysis (internal/spectral) and the
+// round driver (internal/sim).
+//
+// A typical use:
+//
+//	g := graph.Torus(8, 8)
+//	res, err := core.Balance(core.Config{
+//		Graph:     g,
+//		Algorithm: core.Diffusion,
+//		Mode:      core.Continuous,
+//		Loads:     core.SpikeLoads(g.N(), 1e6),
+//		Epsilon:   1e-4,
+//	})
+//
+// which runs the paper's Algorithm 1 until the potential has dropped to
+// ε·Φ⁰ and reports the rounds used next to the Theorem 4 bound.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/diffusion"
+	"repro/internal/dimexchange"
+	"repro/internal/graph"
+	"repro/internal/randpair"
+	"repro/internal/sim"
+	"repro/internal/spectral"
+)
+
+// Algorithm selects the balancing scheme.
+type Algorithm int
+
+const (
+	// Diffusion is the paper's Algorithm 1: concurrent balancing with every
+	// neighbour, transfer (ℓᵢ−ℓⱼ)/(4·max(dᵢ,dⱼ)).
+	Diffusion Algorithm = iota
+	// DimensionExchange is the random-matching baseline of [12].
+	DimensionExchange
+	// RandomPartners is the paper's Algorithm 2: partners drawn uniformly
+	// from all nodes each round (ignores Config.Graph's edges; the node
+	// count still comes from the graph).
+	RandomPartners
+	// FirstOrder is Cybenko's scheme Lᵗ⁺¹ = M·Lᵗ, α = 1/(δ+1)
+	// (continuous only).
+	FirstOrder
+	// SecondOrder is the β-accelerated scheme of [15] (continuous only).
+	SecondOrder
+	// RoundRobinExchange is deterministic dimension exchange ([3]): a fixed
+	// matching schedule from a greedy edge coloring, cycled round-robin.
+	RoundRobinExchange
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Diffusion:
+		return "diffusion"
+	case DimensionExchange:
+		return "dimexchange"
+	case RandomPartners:
+		return "randpair"
+	case FirstOrder:
+		return "firstorder"
+	case SecondOrder:
+		return "secondorder"
+	case RoundRobinExchange:
+		return "roundrobin"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a CLI name into an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range []Algorithm{Diffusion, DimensionExchange, RandomPartners, FirstOrder, SecondOrder, RoundRobinExchange} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", s)
+}
+
+// Mode selects continuous (divisible) or discrete (token) load.
+type Mode int
+
+const (
+	// Continuous allows arbitrarily divisible load.
+	Continuous Mode = iota
+	// Discrete moves indivisible tokens (floor transfers).
+	Discrete
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Discrete {
+		return "discrete"
+	}
+	return "continuous"
+}
+
+// Config describes one balancing run.
+type Config struct {
+	// Graph is the topology. Required; must be connected for the spectral
+	// bounds to be meaningful.
+	Graph *graph.G
+	// Algorithm selects the scheme (default Diffusion).
+	Algorithm Algorithm
+	// Mode selects continuous or discrete load (default Continuous).
+	Mode Mode
+	// Loads is the initial continuous distribution; for Discrete mode the
+	// entries are truncated to integers. Length must equal Graph.N().
+	Loads []float64
+	// Epsilon is the convergence target: stop when Φ ≤ ε·Φ⁰ (continuous)
+	// or when Φ reaches max(ε·Φ⁰, discrete threshold) in discrete mode.
+	// Default 1e-3.
+	Epsilon float64
+	// MaxRounds caps the run (default: 16× the relevant theorem bound, or
+	// 10⁶ when no bound applies).
+	MaxRounds int
+	// Seed drives the randomized algorithms (default 1).
+	Seed int64
+	// Workers enables the goroutine-parallel executor for Diffusion
+	// (default 1; results are identical for any value).
+	Workers int
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Algorithm and Mode echo the configuration.
+	Algorithm Algorithm
+	Mode      Mode
+	// Rounds actually executed, and whether the target was reached.
+	Rounds    int
+	Converged bool
+	// PhiStart and PhiEnd bracket the run; Trace is the full Φ trajectory
+	// (entry t is Φ after round t).
+	PhiStart, PhiEnd float64
+	Trace            []float64
+	// Lambda2 and Delta are the spectral inputs of the paper's bounds
+	// (Lambda2 is 0 when not computed, e.g. for RandomPartners).
+	Lambda2 float64
+	Delta   int
+	// Bound is the paper's round bound for this configuration: Theorem 4
+	// (Diffusion/Continuous), Theorem 6 (Diffusion/Discrete), Theorem 12
+	// or 14 shape for RandomPartners; 0 when no bound applies.
+	Bound float64
+	// BoundName names the theorem behind Bound ("" when none).
+	BoundName string
+}
+
+// Balance validates cfg, runs it to completion, and reports the outcome
+// next to the matching theorem bound.
+func Balance(cfg Config) (Result, error) {
+	if cfg.Graph == nil {
+		return Result{}, errors.New("core: Config.Graph is required")
+	}
+	n := cfg.Graph.N()
+	if len(cfg.Loads) != n {
+		return Result{}, fmt.Errorf("core: %d loads for %d nodes", len(cfg.Loads), n)
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-3
+	}
+	if cfg.Epsilon >= 1 {
+		return Result{}, fmt.Errorf("core: Epsilon %v must be in (0,1)", cfg.Epsilon)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	for i, v := range cfg.Loads {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return Result{}, fmt.Errorf("core: invalid load %v at node %d", v, i)
+		}
+	}
+	if (cfg.Algorithm == FirstOrder || cfg.Algorithm == SecondOrder) && cfg.Mode == Discrete {
+		return Result{}, fmt.Errorf("core: %v supports continuous mode only", cfg.Algorithm)
+	}
+
+	res := Result{Algorithm: cfg.Algorithm, Mode: cfg.Mode, Delta: cfg.Graph.MaxDegree()}
+
+	// Spectral inputs for the bounds (skipped for RandomPartners, whose
+	// bounds are topology-free).
+	needsSpectra := cfg.Algorithm != RandomPartners
+	if needsSpectra && cfg.Graph.IsConnected() && n >= 2 {
+		l2, err := spectral.Lambda2(cfg.Graph)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: λ₂: %w", err)
+		}
+		res.Lambda2 = l2
+	}
+
+	sys, err := buildSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	phi0 := sys.Potential()
+	target := cfg.Epsilon * phi0
+
+	// Theorem bound and discrete floor.
+	switch {
+	case cfg.Algorithm == Diffusion && cfg.Mode == Continuous && res.Lambda2 > 0:
+		res.Bound = diffusion.ContinuousBound(cfg.Graph, res.Lambda2, cfg.Epsilon)
+		res.BoundName = "Theorem 4"
+	case cfg.Algorithm == Diffusion && cfg.Mode == Discrete && res.Lambda2 > 0:
+		thr := diffusion.DiscreteThreshold(cfg.Graph, res.Lambda2)
+		if thr > target {
+			target = thr
+		}
+		res.Bound = diffusion.DiscreteBound(cfg.Graph, res.Lambda2, phi0)
+		res.BoundName = "Theorem 6"
+	case cfg.Algorithm == RandomPartners && cfg.Mode == Continuous && phi0 > 1:
+		res.Bound = 120 * math.Log(phi0)
+		res.BoundName = "Theorem 12 (c=1)"
+	case cfg.Algorithm == RandomPartners && cfg.Mode == Discrete:
+		thr := randpair.DiscreteThreshold(n)
+		if thr > target {
+			target = thr
+		}
+		if phi0 > thr {
+			res.Bound = 240 * math.Log(phi0/thr)
+			res.BoundName = "Theorem 14 (c=1)"
+		}
+	}
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		if res.Bound > 0 {
+			maxRounds = int(16*res.Bound) + 64
+		} else {
+			maxRounds = 1_000_000
+		}
+	}
+
+	run := sim.Run(sys, maxRounds, sim.UntilPotential(target))
+	res.Rounds = run.Rounds
+	res.Converged = run.Converged
+	res.PhiStart = run.PhiStart()
+	res.PhiEnd = run.PhiEnd()
+	res.Trace = run.Phi
+	return res, nil
+}
+
+// buildSystem constructs the requested stepper.
+func buildSystem(cfg Config) (sim.System, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Algorithm {
+	case Diffusion:
+		if cfg.Mode == Discrete {
+			st := diffusion.NewDiscrete(cfg.Graph, toTokens(cfg.Loads))
+			st.Workers = cfg.Workers
+			return st, nil
+		}
+		st := diffusion.NewContinuous(cfg.Graph, cfg.Loads)
+		st.Workers = cfg.Workers
+		return st, nil
+	case DimensionExchange:
+		if cfg.Mode == Discrete {
+			return dimexchange.NewDiscrete(cfg.Graph, toTokens(cfg.Loads), rng), nil
+		}
+		return dimexchange.NewContinuous(cfg.Graph, cfg.Loads, rng), nil
+	case RandomPartners:
+		if cfg.Mode == Discrete {
+			return randpair.NewDiscrete(toTokens(cfg.Loads), rng), nil
+		}
+		return randpair.NewContinuous(cfg.Loads, rng), nil
+	case FirstOrder:
+		return diffusion.NewFirstOrder(cfg.Graph, cfg.Loads), nil
+	case SecondOrder:
+		gamma, err := spectral.Gamma(spectral.DiffusionMatrix(cfg.Graph))
+		if err != nil {
+			return nil, fmt.Errorf("core: γ for second-order β: %w", err)
+		}
+		return diffusion.NewSecondOrder(cfg.Graph, cfg.Loads, diffusion.OptimalBeta(gamma)), nil
+	case RoundRobinExchange:
+		if cfg.Mode == Discrete {
+			return dimexchange.NewRoundRobinDiscrete(cfg.Graph, toTokens(cfg.Loads)), nil
+		}
+		return dimexchange.NewRoundRobin(cfg.Graph, cfg.Loads), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
+	}
+}
+
+// SpikeLoads places the whole load on node 0 — the canonical hard start.
+func SpikeLoads(n int, total float64) []float64 {
+	v := make([]float64, n)
+	if n > 0 {
+		v[0] = total
+	}
+	return v
+}
+
+// toTokens truncates a continuous load vector to integer tokens.
+func toTokens(loads []float64) []int64 {
+	out := make([]int64, len(loads))
+	for i, v := range loads {
+		out[i] = int64(v)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzEdgeWeightInvariants fuzzes the Algorithm 1 transfer rule: the
+// weight is symmetric in its load arguments, nonnegative, and never
+// exceeds a quarter of the load difference (the laziness that makes
+// Lemma 1 work).
+func FuzzEdgeWeightInvariants(f *testing.F) {
+	f.Add(10.0, 2.0)
+	f.Add(0.0, 0.0)
+	f.Add(1e9, -1e9)
+	f.Fuzz(func(t *testing.T, li, lj float64) {
+		if math.IsNaN(li) || math.IsNaN(lj) || math.Abs(li) > 1e15 || math.Abs(lj) > 1e15 {
+			t.Skip()
+		}
+		g := graph.Star(6) // degrees 5 and 1: max(dᵢ,dⱼ) = 5 on every edge
+		w := EdgeWeight(g, 0, 1, li, lj)
+		if w != EdgeWeight(g, 0, 1, lj, li) {
+			t.Fatal("weight must be symmetric in loads")
+		}
+		if w < 0 {
+			t.Fatalf("negative weight %v", w)
+		}
+		if diff := math.Abs(li - lj); w > diff/4+1e-12*diff {
+			t.Fatalf("weight %v exceeds diff/4 = %v", w, diff/4)
+		}
+	})
+}
+
+// FuzzDiscreteRoundConserves fuzzes token conservation of one discrete
+// Algorithm 1 round on a fixed small torus with arbitrary token placement.
+func FuzzDiscreteRoundConserves(f *testing.F) {
+	f.Add(int64(1000), int64(0), int64(7), int64(500))
+	f.Add(int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(1)<<40, int64(3), int64(9), int64(1)<<39)
+	f.Fuzz(func(t *testing.T, a, b, c, d int64) {
+		for _, v := range []int64{a, b, c, d} {
+			if v < 0 || v > int64(1)<<45 {
+				t.Skip()
+			}
+		}
+		g := graph.Torus(3, 3)
+		tokens := []int64{a, b, c, d, a % 97, b % 89, c % 83, d % 79, (a + b) % 71}
+		st := NewDiscrete(g, tokens)
+		var before int64
+		for _, v := range tokens {
+			before += v
+		}
+		for k := 0; k < 5; k++ {
+			st.Step()
+		}
+		if st.Load.Total() != before {
+			t.Fatalf("tokens not conserved: %d → %d", before, st.Load.Total())
+		}
+		for node, v := range st.Load.Tokens() {
+			if v < 0 {
+				t.Fatalf("node %d negative: %d", node, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package dynamic implements the dynamic-network model of §5 (after
+// Elsässer, Monien and Schamberger [10]): the node set is fixed but the
+// edge set may change every round, described by a sequence of graphs
+// (G_k)_{k≥0}; every node knows its active edges in the current round.
+//
+// The package provides graph-sequence generators (random subgraphs of a
+// base topology, periodic edge failures, alternating topologies, random
+// matchings viewed as degenerate graphs) and steppers that run Algorithm 1
+// — continuous and discrete — against a sequence, tracking the per-round
+// λ₂⁽ᵏ⁾/δ⁽ᵏ⁾ statistics that Theorems 7 and 8 are stated in.
+package dynamic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/spectral"
+)
+
+// Sequence yields the active graph of each round. Implementations must be
+// deterministic given their RNG so runs are reproducible.
+type Sequence interface {
+	// Next returns the graph active in round k (0-based). The node count
+	// must be the same for every k.
+	Next(k int) *graph.G
+	// N returns the (fixed) node count.
+	N() int
+}
+
+// Static adapts a fixed graph to the Sequence interface.
+type Static struct{ G *graph.G }
+
+// Next returns the underlying fixed graph for every round.
+func (s Static) Next(int) *graph.G { return s.G }
+
+// N returns the node count.
+func (s Static) N() int { return s.G.N() }
+
+// RandomSubgraphs yields, each round, a random subgraph of Base in which
+// every edge survives independently with probability KeepProb. When
+// RequireConnected is set, rounds draw until the subgraph is connected
+// (suitable only for generous KeepProb; the draw is capped and falls back
+// to the base graph).
+type RandomSubgraphs struct {
+	Base             *graph.G
+	KeepProb         float64
+	RequireConnected bool
+	RNG              *rand.Rand
+}
+
+// Next draws round k's subgraph.
+func (r *RandomSubgraphs) Next(k int) *graph.G {
+	const maxDraws = 50
+	for attempt := 0; attempt < maxDraws; attempt++ {
+		name := fmt.Sprintf("%s@r%d", r.Base.Name(), k)
+		sub := r.Base.Subgraph(name, func(graph.Edge) bool { return r.RNG.Float64() < r.KeepProb })
+		if !r.RequireConnected || sub.IsConnected() {
+			return sub
+		}
+	}
+	return r.Base
+}
+
+// N returns the node count.
+func (r *RandomSubgraphs) N() int { return r.Base.N() }
+
+// Alternating cycles deterministically through a fixed list of graphs on
+// the same node set — e.g. torus rounds interleaved with sparse cycle
+// rounds, the "topology flapping" scenario.
+type Alternating struct{ Graphs []*graph.G }
+
+// NewAlternating validates that all graphs share a node count.
+func NewAlternating(gs ...*graph.G) (*Alternating, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("dynamic: Alternating needs at least one graph")
+	}
+	n := gs[0].N()
+	for _, g := range gs[1:] {
+		if g.N() != n {
+			return nil, fmt.Errorf("dynamic: node count mismatch %d vs %d", g.N(), n)
+		}
+	}
+	return &Alternating{Graphs: gs}, nil
+}
+
+// Next returns the round-k graph.
+func (a *Alternating) Next(k int) *graph.G { return a.Graphs[k%len(a.Graphs)] }
+
+// N returns the node count.
+func (a *Alternating) N() int { return a.Graphs[0].N() }
+
+// EdgeFailures keeps the base topology but disables a fresh uniformly
+// random set of FailCount edges every round — the "flaky links" scenario.
+type EdgeFailures struct {
+	Base      *graph.G
+	FailCount int
+	RNG       *rand.Rand
+}
+
+// Next draws round k's graph with FailCount edges removed.
+func (f *EdgeFailures) Next(k int) *graph.G {
+	edges := f.Base.Edges()
+	m := len(edges)
+	fail := make(map[int]bool, f.FailCount)
+	for len(fail) < f.FailCount && len(fail) < m {
+		fail[f.RNG.Intn(m)] = true
+	}
+	idx := 0
+	name := fmt.Sprintf("%s-fail%d@r%d", f.Base.Name(), f.FailCount, k)
+	return f.Base.Subgraph(name, func(graph.Edge) bool {
+		keep := !fail[idx]
+		idx++
+		return keep
+	})
+}
+
+// N returns the node count.
+func (f *EdgeFailures) N() int { return f.Base.N() }
+
+// RoundStat records the spectral state of one round of a dynamic run.
+type RoundStat struct {
+	Round   int
+	Lambda2 float64
+	Delta   int
+	Phi     float64 // potential after the round
+}
+
+// Result is the outcome of a dynamic run.
+type Result struct {
+	Stats []RoundStat
+	// AK is the Theorem 7 average A_K = (1/K)·Σ λ₂⁽ᵏ⁾/δ⁽ᵏ⁾ over the rounds
+	// actually executed (disconnected rounds contribute 0).
+	AK float64
+	// PhiStart and PhiEnd bracket the run.
+	PhiStart, PhiEnd float64
+}
+
+// Rounds returns the number of executed rounds.
+func (r Result) Rounds() int { return len(r.Stats) }
+
+// RunContinuous runs the continuous Algorithm 1 against seq until the
+// potential falls to target or maxRounds elapse. Spectral stats are
+// computed per round (λ₂ of each round's graph), which is the dominant cost
+// for large graphs — callers that only need the trajectory can pass
+// withSpectra=false to skip it.
+func RunContinuous(seq Sequence, initial []float64, target float64, maxRounds int, withSpectra bool) Result {
+	cur := load.NewContinuous(initial)
+	res := Result{PhiStart: cur.Potential()}
+	phi := res.PhiStart
+	var sumRatio float64
+	for k := 0; k < maxRounds && phi > target; k++ {
+		g := seq.Next(k)
+		st := diffusion.NewContinuous(g, cur.Vector())
+		st.Step()
+		copy(cur.Vector(), st.Load.Vector())
+		phi = cur.Potential()
+		stat := RoundStat{Round: k, Delta: g.MaxDegree(), Phi: phi}
+		if withSpectra {
+			if l2, err := spectral.Lambda2(g); err == nil {
+				stat.Lambda2 = l2
+				if stat.Delta > 0 {
+					sumRatio += l2 / float64(stat.Delta)
+				}
+			}
+		}
+		res.Stats = append(res.Stats, stat)
+	}
+	if n := len(res.Stats); n > 0 && withSpectra {
+		res.AK = sumRatio / float64(n)
+	}
+	res.PhiEnd = phi
+	return res
+}
+
+// RunDiscrete is RunContinuous for the discrete Algorithm 1. The run stops
+// when Φ ≤ target (callers pass the Theorem 8 threshold Φ*) or maxRounds.
+func RunDiscrete(seq Sequence, initial []int64, target float64, maxRounds int, withSpectra bool) Result {
+	cur := load.NewDiscrete(initial)
+	res := Result{PhiStart: cur.Potential()}
+	phi := res.PhiStart
+	var sumRatio float64
+	for k := 0; k < maxRounds && phi > target; k++ {
+		g := seq.Next(k)
+		st := diffusion.NewDiscrete(g, cur.Tokens())
+		st.Step()
+		copy(cur.Tokens(), st.Load.Tokens())
+		phi = cur.Potential()
+		stat := RoundStat{Round: k, Delta: g.MaxDegree(), Phi: phi}
+		if withSpectra {
+			if l2, err := spectral.Lambda2(g); err == nil {
+				stat.Lambda2 = l2
+				if stat.Delta > 0 {
+					sumRatio += l2 / float64(stat.Delta)
+				}
+			}
+		}
+		res.Stats = append(res.Stats, stat)
+	}
+	if n := len(res.Stats); n > 0 && withSpectra {
+		res.AK = sumRatio / float64(n)
+	}
+	res.PhiEnd = phi
+	return res
+}
+
+// Theorem8Threshold computes Φ* = 64·n·max_k(δ⁽ᵏ⁾)³/λ₂⁽ᵏ⁾ over the rounds
+// recorded in stats. Rounds with λ₂ = 0 (disconnected) are skipped, as the
+// paper's bound is vacuous for them.
+func Theorem8Threshold(n int, stats []RoundStat) float64 {
+	var worst float64
+	for _, s := range stats {
+		if s.Lambda2 <= 0 {
+			continue
+		}
+		d := float64(s.Delta)
+		if v := d * d * d / s.Lambda2; v > worst {
+			worst = v
+		}
+	}
+	return 64 * float64(n) * worst
+}

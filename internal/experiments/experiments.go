@@ -1,0 +1,74 @@
+// Package experiments implements the reproduction harness: one function per
+// experiment row of DESIGN.md §5, each regenerating the series that
+// validates a theorem or lemma of the paper (or a comparison the paper
+// makes against prior work). Every experiment returns a trace.Table whose
+// rows pair the measured quantity with the paper's bound, so "who wins, by
+// roughly what factor" can be read off directly; EXPERIMENTS.md records a
+// reference run.
+//
+// All experiments are deterministic given Options.Seed. Options.Quick
+// shrinks sweeps for use inside testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives every randomized component (default 1).
+	Seed int64
+	// Quick shrinks parameter sweeps (fewer sizes, fewer repetitions) so a
+	// run finishes in benchmark-friendly time.
+	Quick bool
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Runner is the signature shared by all experiments.
+type Runner func(Options) *trace.Table
+
+// registry maps experiment ids (e.g. "E3", "A1") to runners; populated by
+// init functions in the per-area files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %s", id))
+	}
+	registry[id] = r
+}
+
+// Lookup returns the runner for an experiment id.
+func Lookup(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// IDs returns all registered experiment ids, sorted with E* before A*.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// E-experiments before A-ablations, then numeric order.
+		pi, pj := out[i][0], out[j][0]
+		if pi != pj {
+			return pi == 'E'
+		}
+		var ni, nj int
+		fmt.Sscanf(out[i][1:], "%d", &ni)
+		fmt.Sscanf(out[j][1:], "%d", &nj)
+		return ni < nj
+	})
+	return out
+}

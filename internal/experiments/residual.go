@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("E17", E17ResidualScaling)
+	register("E18", E18ContractionRate)
+}
+
+// E17ResidualScaling reproduces the paper's §3 remark against [15]: the
+// discrete Algorithm 1's guaranteed residual 64δ³n/λ₂ is *linear* in n
+// where [15]'s is quadratic (δ²n²). Both discrete schemes run to their
+// exact fixed points on hypercubes of growing size; the table reports the
+// measured residuals next to the two formulas.
+func E17ResidualScaling(o Options) *trace.Table {
+	t := trace.NewTable("E17 — discrete residual scaling: Algorithm 1 vs discrete first order [15] (hypercubes, spike start)",
+		"n", "Φ residual (Alg 1)", "paper 64δ³n/λ₂", "Φ residual (FOS)", "[15] δ²n²", "paper/[15] formulas")
+	dims := []int{4, 5, 6, 7, 8}
+	if o.Quick {
+		dims = []int{4, 5}
+	}
+	horizon := 200000
+	if o.Quick {
+		horizon = 20000
+	}
+	for _, d := range dims {
+		g := graph.Hypercube(d)
+		lambda2 := 2.0 // closed form for Q_d
+		tokens := workload.Discrete(workload.Spike, g.N(), int64(g.N())*1_000_000, nil)
+
+		a1 := diffusion.NewDiscrete(g, tokens)
+		for k := 0; k < horizon && !diffusion.DiscreteFixedPoint(g, a1.Load.Tokens()); k++ {
+			a1.Step()
+		}
+		fos := diffusion.NewDiscreteFirstOrder(g, tokens)
+		for k := 0; k < horizon && !fos.FixedPoint(); k++ {
+			fos.Step()
+		}
+
+		paperThr := diffusion.DiscreteThreshold(g, lambda2)
+		mgsThr := diffusion.MGSResidualShape(g)
+		t.AddRowf(g.N(), a1.Potential(), paperThr, fos.Potential(), mgsThr, paperThr/mgsThr)
+	}
+	t.Note("both measured residuals must sit below their formulas; the last column shows the paper's guarantee overtaking [15]'s as n grows (crossover at 32δ = n, i.e. Q8).")
+	return t
+}
+
+// E18ContractionRate validates the per-round statement inside Theorem 4's
+// proof: the continuous Algorithm 1 contracts Φ by at least (1 − λ₂/4δ)
+// per round. The measured per-round geometric decay rate is compared with
+// that guarantee and with the exact asymptotic rate γ_P² (γ_P the
+// second-largest eigenvalue magnitude of the paper's diffusion matrix —
+// the error norm contracts by γ_P, the potential by γ_P²).
+func E18ContractionRate(o Options) *trace.Table {
+	t := trace.NewTable("E18 — per-round contraction: measured vs (1 − λ₂/4δ) guarantee vs exact γ_P²",
+		"graph", "measured rate", "guarantee 1−λ₂/4δ", "exact γ_P²", "measured ≤ guarantee")
+	for _, g := range fixedSuite(o.Quick) {
+		lambda2 := spectral.MustLambda2(g)
+		guarantee := 1 - lambda2/(4*float64(g.MaxDegree()))
+
+		gammaP := math.NaN()
+		if gp, err := spectral.Gamma(spectral.PaperDiffusionMatrix(g)); err == nil {
+			gammaP = gp * gp
+		}
+
+		init := workload.Continuous(workload.Spike, g.N(), 1e9, nil)
+		st := diffusion.NewContinuous(g, init)
+		// Collect the whole positive trace, then fit the second half of it
+		// — past the transient, before the denormal floor. Fast-mixing
+		// graphs (K_n) reach machine zero in tens of rounds, so the window
+		// must adapt rather than start at a fixed offset.
+		var full []float64
+		total := 400
+		if o.Quick {
+			total = 150
+		}
+		phi0 := st.Potential()
+		for k := 0; k < total; k++ {
+			st.Step()
+			phi := st.Potential()
+			// Stop well above the float-resolution floor: once deviations
+			// fall below avg·ε the loads are bitwise equal and Φ stalls,
+			// which would flatten the fitted rate to 1.
+			if phi < 1e-24*phi0 {
+				break
+			}
+			full = append(full, phi)
+		}
+		series := full[len(full)/2:]
+		measured := stats.GeometricDecayRate(series)
+		t.AddRowf(g.Name(), measured, guarantee, gammaP, measured <= guarantee+1e-9)
+	}
+	t.Note("measured must not exceed the guarantee (Theorem 4's engine); the gap to γ_P² is the analysis slack — the true asymptotic rate on every graph.")
+	return t
+}

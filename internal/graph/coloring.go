@@ -1,0 +1,81 @@
+package graph
+
+// EdgeColoring returns a proper edge coloring of g as a slice indexed like
+// g.Edges(): edges sharing an endpoint receive different colors. The greedy
+// first-free-color rule uses at most 2δ−1 colors (each edge conflicts with
+// ≤ 2(δ−1) others); Vizing guarantees δ or δ+1 exist, but the greedy bound
+// is all the round-robin dimension exchange needs — each color class is a
+// matching, and cycling through the classes touches every edge once per
+// 2δ−1 rounds.
+//
+// Returns the color of each edge and the number of colors used.
+func EdgeColoring(g *G) (colors []int, numColors int) {
+	m := g.M()
+	colors = make([]int, m)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// incident[v] lists edge indices at node v.
+	incident := make([][]int, g.N())
+	for k, e := range g.Edges() {
+		incident[e.U] = append(incident[e.U], k)
+		incident[e.V] = append(incident[e.V], k)
+	}
+	maxColors := 2*g.MaxDegree() - 1
+	if maxColors < 1 {
+		maxColors = 1
+	}
+	used := make([]bool, maxColors+1)
+	for k, e := range g.Edges() {
+		for i := range used {
+			used[i] = false
+		}
+		for _, other := range incident[e.U] {
+			if c := colors[other]; c >= 0 {
+				used[c] = true
+			}
+		}
+		for _, other := range incident[e.V] {
+			if c := colors[other]; c >= 0 {
+				used[c] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[k] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	return colors, numColors
+}
+
+// ColorClasses groups the edge indices of a coloring by color; each class
+// is a matching of g.
+func ColorClasses(g *G, colors []int, numColors int) [][]Edge {
+	classes := make([][]Edge, numColors)
+	for k, e := range g.Edges() {
+		c := colors[k]
+		classes[c] = append(classes[c], e)
+	}
+	return classes
+}
+
+// HypercubeDimensionClasses returns the natural perfect d-coloring of the
+// d-dimensional hypercube: class i holds the edges crossing bit i. This is
+// the matching schedule of the classic dimension-exchange algorithm of [3].
+func HypercubeDimensionClasses(d int) [][]Edge {
+	n := 1 << uint(d)
+	classes := make([][]Edge, d)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < d; bit++ {
+			v := u ^ (1 << uint(bit))
+			if u < v {
+				classes[bit] = append(classes[bit], Edge{U: u, V: v})
+			}
+		}
+	}
+	return classes
+}

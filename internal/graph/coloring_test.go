@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeColoringEmptyGraph(t *testing.T) {
+	g := NewBuilder("empty", 3).MustFinish()
+	colors, num := EdgeColoring(g)
+	if len(colors) != 0 || num != 0 {
+		t.Fatalf("empty graph coloring: %v/%d", colors, num)
+	}
+}
+
+func TestEdgeColoringSingleEdge(t *testing.T) {
+	b := NewBuilder("one", 2)
+	b.AddEdge(0, 1)
+	colors, num := EdgeColoring(b.MustFinish())
+	if num != 1 || colors[0] != 0 {
+		t.Fatalf("single edge: %v/%d", colors, num)
+	}
+}
+
+func TestEdgeColoringHypercubeUsesFewColors(t *testing.T) {
+	// The greedy bound is 2δ−1; on structured graphs greedy usually lands
+	// near δ. Only the bound is contractual.
+	g := Hypercube(4)
+	_, num := EdgeColoring(g)
+	if num > 2*g.MaxDegree()-1 {
+		t.Fatalf("%d colors exceeds greedy bound %d", num, 2*g.MaxDegree()-1)
+	}
+	if num < g.MaxDegree() {
+		t.Fatalf("%d colors below δ=%d (impossible for a proper coloring)", num, g.MaxDegree())
+	}
+}
+
+func TestColorClassesPartitionEdges(t *testing.T) {
+	g := Petersen()
+	colors, num := EdgeColoring(g)
+	classes := ColorClasses(g, colors, num)
+	total := 0
+	for _, c := range classes {
+		total += len(c)
+	}
+	if total != g.M() {
+		t.Fatalf("classes hold %d edges, graph has %d", total, g.M())
+	}
+}
+
+// Property: greedy coloring is proper and within the 2δ−1 bound on random
+// graphs.
+func TestEdgeColoringProperProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + r.Intn(20)
+		g := ErdosRenyi(n, 0.4, r)
+		colors, num := EdgeColoring(g)
+		if g.M() > 0 && num > 2*g.MaxDegree()-1 {
+			return false
+		}
+		seen := map[[2]int]bool{}
+		for k, e := range g.Edges() {
+			for _, v := range []int{e.U, e.V} {
+				key := [2]int{v, colors[k]}
+				if seen[key] {
+					return false
+				}
+				seen[key] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package graph provides the immutable undirected graphs on which the load
+// balancing algorithms run, together with the standard topology families the
+// diffusion literature evaluates on (path, cycle, torus, hypercube,
+// de Bruijn, expanders, …), their Laplacian/adjacency matrices, and
+// structural measures (degree, expansion, connectivity).
+//
+// Graphs are simple (no self loops, no multi-edges) and immutable once
+// built; every algorithm in this repository treats the topology as
+// read-only, which is what makes the goroutine-parallel round executor in
+// internal/sim safe without locks.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Edge is an undirected edge between two node indices with U < V.
+type Edge struct {
+	U, V int
+}
+
+// Canonical returns the edge with endpoints ordered so that U < V.
+func (e Edge) Canonical() Edge {
+	if e.U > e.V {
+		return Edge{U: e.V, V: e.U}
+	}
+	return e
+}
+
+// Other returns the endpoint of e that is not x. Panics if x is not an
+// endpoint.
+func (e Edge) Other(x int) int {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d not on edge %v", x, e))
+}
+
+// G is an immutable simple undirected graph with nodes 0..n−1.
+type G struct {
+	name  string
+	n     int
+	adj   [][]int // sorted neighbour lists
+	edges []Edge  // canonical, sorted lexicographically
+	deg   []int
+}
+
+// Builder accumulates edges and produces an immutable G. Duplicate edges and
+// self loops are rejected at Finish time.
+type Builder struct {
+	name  string
+	n     int
+	edges map[Edge]struct{}
+	err   error
+}
+
+// NewBuilder starts a builder for a graph with n nodes.
+func NewBuilder(name string, n int) *Builder {
+	b := &Builder{name: name, n: n, edges: make(map[Edge]struct{})}
+	if n < 0 {
+		b.err = errors.New("graph: negative node count")
+	}
+	return b
+}
+
+// AddEdge records the undirected edge {u, v}. Errors (out-of-range
+// endpoints, self loops) are sticky and reported by Finish.
+func (b *Builder) AddEdge(u, v int) {
+	if b.err != nil {
+		return
+	}
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		b.err = fmt.Errorf("graph: edge (%d,%d) out of range n=%d", u, v, b.n)
+		return
+	}
+	if u == v {
+		b.err = fmt.Errorf("graph: self loop at node %d", u)
+		return
+	}
+	b.edges[Edge{U: u, V: v}.Canonical()] = struct{}{}
+}
+
+// Finish validates and freezes the graph.
+func (b *Builder) Finish() (*G, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	g := &G{name: b.name, n: b.n, adj: make([][]int, b.n), deg: make([]int, b.n)}
+	g.edges = make([]Edge, 0, len(b.edges))
+	for e := range b.edges {
+		g.edges = append(g.edges, e)
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i].U != g.edges[j].U {
+			return g.edges[i].U < g.edges[j].U
+		}
+		return g.edges[i].V < g.edges[j].V
+	})
+	for _, e := range g.edges {
+		g.adj[e.U] = append(g.adj[e.U], e.V)
+		g.adj[e.V] = append(g.adj[e.V], e.U)
+	}
+	for i := range g.adj {
+		sort.Ints(g.adj[i])
+		g.deg[i] = len(g.adj[i])
+	}
+	return g, nil
+}
+
+// MustFinish is Finish that panics on error; used by the topology
+// constructors whose edge sets are correct by construction.
+func (b *Builder) MustFinish() *G {
+	g, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the human-readable topology name, e.g. "torus(8x8)".
+func (g *G) Name() string { return g.name }
+
+// N returns the number of nodes.
+func (g *G) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *G) M() int { return len(g.edges) }
+
+// Edges returns the canonical edge list. Callers must not mutate it.
+func (g *G) Edges() []Edge { return g.edges }
+
+// Neighbors returns the sorted neighbour list of node i. Callers must not
+// mutate it.
+func (g *G) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the degree of node i.
+func (g *G) Degree(i int) int { return g.deg[i] }
+
+// MaxDegree returns δ = maxᵢ deg(i); 0 for the empty graph.
+func (g *G) MaxDegree() int {
+	max := 0
+	for _, d := range g.deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MinDegree returns minᵢ deg(i); 0 for the empty graph.
+func (g *G) MinDegree() int {
+	if g.n == 0 {
+		return 0
+	}
+	min := g.deg[0]
+	for _, d := range g.deg[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *G) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
+		return false
+	}
+	a := g.adj[u]
+	k := sort.SearchInts(a, v)
+	return k < len(a) && a[k] == v
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the single node are connected by convention.
+func (g *G) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range g.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == g.n
+}
+
+// IsRegular reports whether every node has the same degree, and that degree.
+func (g *G) IsRegular() (int, bool) {
+	if g.n == 0 {
+		return 0, true
+	}
+	d := g.deg[0]
+	for _, x := range g.deg[1:] {
+		if x != d {
+			return 0, false
+		}
+	}
+	return d, true
+}
+
+// Adjacency returns the n×n adjacency matrix A.
+func (g *G) Adjacency() *matrix.Dense {
+	a := matrix.NewDense(g.n, g.n)
+	for _, e := range g.edges {
+		a.Set(e.U, e.V, 1)
+		a.Set(e.V, e.U, 1)
+	}
+	return a
+}
+
+// Laplacian returns the n×n Laplacian L = D − A, where D is the diagonal
+// degree matrix. L is symmetric positive semidefinite; its second-smallest
+// eigenvalue λ₂ (the algebraic connectivity) drives every convergence bound
+// in the paper.
+func (g *G) Laplacian() *matrix.Dense {
+	l := matrix.NewDense(g.n, g.n)
+	for i, d := range g.deg {
+		l.Set(i, i, float64(d))
+	}
+	for _, e := range g.edges {
+		l.Set(e.U, e.V, -1)
+		l.Set(e.V, e.U, -1)
+	}
+	return l
+}
+
+// Subgraph returns the graph on the same node set containing only the edges
+// for which keep returns true. Used by the dynamic-network generators.
+func (g *G) Subgraph(name string, keep func(Edge) bool) *G {
+	b := NewBuilder(name, g.n)
+	for _, e := range g.edges {
+		if keep(e) {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	return b.MustFinish()
+}
+
+// String implements fmt.Stringer.
+func (g *G) String() string {
+	return fmt.Sprintf("%s{n=%d m=%d δ=%d}", g.name, g.n, g.M(), g.MaxDegree())
+}

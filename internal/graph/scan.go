@@ -1,0 +1,31 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sscanfStrict is fmt.Sscanf that additionally requires the whole input to
+// be consumed: "path(8)x" must not match "path(%d)". fmt.Sscanf alone stops
+// at the last verb and ignores trailing input, which would make topology
+// name matching in KnownLambda2 too permissive.
+func sscanfStrict(s, format string, args ...interface{}) (int, error) {
+	n, err := fmt.Sscanf(s, format, args...)
+	if err != nil {
+		return n, err
+	}
+	// Re-render with the scanned values and compare; the formats used in
+	// this package are all plain "%d" verbs, so the round trip is exact.
+	vals := make([]interface{}, len(args))
+	for i, a := range args {
+		p, ok := a.(*int)
+		if !ok {
+			return n, fmt.Errorf("graph: sscanfStrict supports *int args only")
+		}
+		vals[i] = *p
+	}
+	if rendered := fmt.Sprintf(format, vals...); !strings.EqualFold(rendered, s) {
+		return 0, fmt.Errorf("graph: %q does not fully match %q", s, format)
+	}
+	return n, nil
+}

@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"math"
+)
+
+// Closed-form Laplacian spectra for the standard topology families. These
+// serve two purposes: they are the ground truth against which the numeric
+// eigensolvers in internal/spectral are tested, and they let the experiment
+// harness evaluate the paper's bounds exactly on large instances without an
+// O(n³) eigendecomposition.
+
+// PathLambda2 returns λ₂ of the path on n nodes: 2(1 − cos(π/n)).
+// Laplacian eigenvalues of the path are 2(1 − cos(kπ/n)), k = 0..n−1.
+func PathLambda2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 2 * (1 - math.Cos(math.Pi/float64(n)))
+}
+
+// CycleLambda2 returns λ₂ of the cycle on n nodes: 2(1 − cos(2π/n)).
+// Laplacian eigenvalues of the cycle are 2(1 − cos(2kπ/n)), k = 0..n−1.
+func CycleLambda2(n int) float64 {
+	if n < 3 {
+		return 0
+	}
+	return 2 * (1 - math.Cos(2*math.Pi/float64(n)))
+}
+
+// CompleteLambda2 returns λ₂ of K_n, which is n (with multiplicity n−1).
+func CompleteLambda2(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n)
+}
+
+// StarLambda2 returns λ₂ of the star K_{1,n−1}, which is 1 for n ≥ 3
+// (spectrum {0, 1^(n−2), n}).
+func StarLambda2(n int) float64 {
+	switch {
+	case n < 2:
+		return 0
+	case n == 2:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// HypercubeLambda2 returns λ₂ of the d-dimensional hypercube, which is 2
+// (Laplacian spectrum {2k·(d choose k multiplicity)}, k = 0..d).
+func HypercubeLambda2(d int) float64 {
+	if d < 1 {
+		return 0
+	}
+	return 2
+}
+
+// TorusLambda2 returns λ₂ of the rows×cols torus. The torus is the
+// Cartesian product of two cycles, so its Laplacian spectrum is the sumset
+// of the two cycle spectra; the smallest nonzero value is
+// 2(1 − cos(2π/max(rows, cols))).
+func TorusLambda2(rows, cols int) float64 {
+	m := rows
+	if cols > m {
+		m = cols
+	}
+	return CycleLambda2(m)
+}
+
+// GridLambda2 returns λ₂ of the rows×cols mesh (Cartesian product of two
+// paths): 2(1 − cos(π/max(rows, cols))).
+func GridLambda2(rows, cols int) float64 {
+	m := rows
+	if cols > m {
+		m = cols
+	}
+	return PathLambda2(m)
+}
+
+// CompleteBipartiteLambda2 returns λ₂ of K_{a,b} with a ≤ b, which is
+// min(a, b) (spectrum {0, a^(b−1), b^(a−1), a+b}).
+func CompleteBipartiteLambda2(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if a < 1 {
+		return 0
+	}
+	return float64(a)
+}
+
+// PetersenLambda2 returns λ₂ of the Petersen graph: 2.
+func PetersenLambda2() float64 { return 2 }
+
+// PathSpectrum returns all n Laplacian eigenvalues of the path, ascending.
+func PathSpectrum(n int) []float64 {
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		out[k] = 2 * (1 - math.Cos(float64(k)*math.Pi/float64(n)))
+	}
+	return out
+}
+
+// CycleSpectrum returns all n Laplacian eigenvalues of the cycle, ascending.
+func CycleSpectrum(n int) []float64 {
+	vals := make([]float64, n)
+	for k := 0; k < n; k++ {
+		vals[k] = 2 * (1 - math.Cos(2*math.Pi*float64(k)/float64(n)))
+	}
+	// Values come out unsorted (cos is not monotone over the index range).
+	sortFloat64s(vals)
+	return vals
+}
+
+// HypercubeSpectrum returns all 2^d Laplacian eigenvalues of the hypercube,
+// ascending: eigenvalue 2k with multiplicity C(d, k).
+func HypercubeSpectrum(d int) []float64 {
+	n := 1 << uint(d)
+	out := make([]float64, 0, n)
+	choose := 1
+	for k := 0; k <= d; k++ {
+		for c := 0; c < choose; c++ {
+			out = append(out, float64(2*k))
+		}
+		choose = choose * (d - k) / (k + 1)
+	}
+	return out
+}
+
+// KnownLambda2 returns the closed-form λ₂ for graphs produced by the
+// constructors in this package, matching on the Name() prefix. ok is false
+// for families without a closed form (random graphs, trees, barbells, …).
+func KnownLambda2(g *G) (lambda2 float64, ok bool) {
+	var a, b int
+	switch {
+	case scan1(g.Name(), "path(%d)", &a):
+		return PathLambda2(a), true
+	case scan1(g.Name(), "cycle(%d)", &a):
+		return CycleLambda2(a), true
+	case scan1(g.Name(), "complete(%d)", &a):
+		return CompleteLambda2(a), true
+	case scan1(g.Name(), "star(%d)", &a):
+		return StarLambda2(a), true
+	case scan1(g.Name(), "hypercube(%d)", &a):
+		return HypercubeLambda2(a), true
+	case scan2(g.Name(), "torus(%dx%d)", &a, &b):
+		return TorusLambda2(a, b), true
+	case scan2(g.Name(), "grid(%dx%d)", &a, &b):
+		return GridLambda2(a, b), true
+	case scan2(g.Name(), "K(%d,%d)", &a, &b):
+		return CompleteBipartiteLambda2(a, b), true
+	case g.Name() == "petersen":
+		return PetersenLambda2(), true
+	}
+	return 0, false
+}
+
+func sortFloat64s(v []float64) {
+	// insertion sort is fine here; spectra helpers are not hot paths and the
+	// stdlib sort would pull in an interface allocation per call site.
+	for i := 1; i < len(v); i++ {
+		x := v[i]
+		j := i - 1
+		for j >= 0 && v[j] > x {
+			v[j+1] = v[j]
+			j--
+		}
+		v[j+1] = x
+	}
+}
+
+func scan1(s, format string, a *int) bool {
+	var got int
+	n, err := sscanfStrict(s, format, &got)
+	if err != nil || n != 1 {
+		return false
+	}
+	*a = got
+	return true
+}
+
+func scan2(s, format string, a, b *int) bool {
+	var g1, g2 int
+	n, err := sscanfStrict(s, format, &g1, &g2)
+	if err != nil || n != 2 {
+		return false
+	}
+	*a, *b = g1, g2
+	return true
+}

@@ -1,0 +1,108 @@
+package hetero
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+)
+
+// Discrete is the token-level heterogeneous balancer: the continuous rule
+// with transfers floored to whole tokens, the [9]/[11] model of indivisible
+// unit-size tokens on heterogeneous nodes. Like the discrete Algorithm 1 it
+// cannot reach the exact proportional state; it stalls once every edge's
+// fractional transfer is below one token.
+type Discrete struct {
+	G      *graph.G
+	Load   *load.Discrete
+	Speeds []float64
+
+	next []int64
+}
+
+// NewDiscrete validates speeds and wraps a copy of the initial tokens.
+func NewDiscrete(g *graph.G, initial []int64, speeds []float64) (*Discrete, error) {
+	if len(initial) != g.N() || len(speeds) != g.N() {
+		return nil, fmt.Errorf("hetero: lengths tokens=%d speeds=%d for n=%d", len(initial), len(speeds), g.N())
+	}
+	for i, c := range speeds {
+		if !(c > 0) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("hetero: invalid speed %v at node %d", c, i)
+		}
+	}
+	sp := append([]float64(nil), speeds...)
+	return &Discrete{G: g, Load: load.NewDiscrete(initial), Speeds: sp}, nil
+}
+
+// Step advances one synchronous round with floored transfers.
+func (h *Discrete) Step() {
+	g, cur := h.G, h.Load.Tokens()
+	n := g.N()
+	if h.next == nil {
+		h.next = make([]int64, n)
+	}
+	for i := 0; i < n; i++ {
+		acc := cur[i]
+		for _, j := range g.Neighbors(i) {
+			acc -= h.transfer(i, j, cur[i], cur[j])
+		}
+		h.next[i] = acc
+	}
+	copy(cur, h.next)
+}
+
+// transfer returns the whole-token amount i sends to j (negative: receives)
+// for round-start counts li, lj. Both endpoints compute the same value, so
+// conservation is structural.
+func (h *Discrete) transfer(i, j int, li, lj int64) int64 {
+	ci, cj := h.Speeds[i], h.Speeds[j]
+	diff := float64(li)/ci - float64(lj)/cj
+	if diff == 0 {
+		return 0
+	}
+	cmin := ci
+	if cj < cmin {
+		cmin = cj
+	}
+	di, dj := h.G.Degree(i), h.G.Degree(j)
+	if dj > di {
+		di = dj
+	}
+	w := diff * cmin / (4 * float64(di))
+	if w > 0 {
+		return int64(math.Floor(w))
+	}
+	return -int64(math.Floor(-w))
+}
+
+// Omega returns the fair per-speed share ω = Σℓ/Σc.
+func (h *Discrete) Omega() float64 {
+	var sumC float64
+	for _, c := range h.Speeds {
+		sumC += c
+	}
+	return float64(h.Load.Total()) / sumC
+}
+
+// Potential returns the speed-weighted potential Φ_c = Σ cᵢ(ℓᵢ/cᵢ − ω)².
+func (h *Discrete) Potential() float64 {
+	omega := h.Omega()
+	var s float64
+	for i, c := range h.Speeds {
+		d := float64(h.Load.At(i))/c - omega
+		s += c * d * d
+	}
+	return s
+}
+
+// FixedPoint reports whether a full round would move no token.
+func (h *Discrete) FixedPoint() bool {
+	cur := h.Load.Tokens()
+	for _, e := range h.G.Edges() {
+		if h.transfer(e.U, e.V, cur[e.U], cur[e.V]) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,53 @@
+package markov
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// PsiMatrix computes the local divergence Ψ(M) of a diffusion matrix in the
+// sense of Rabani, Sinclair and Wanka [16], truncated at a finite horizon:
+//
+//	Ψ_T(M) = max_i Σ_{t<T} Σ_{(j,k)∈E} |(Mᵗ)_{ji} − (Mᵗ)_{ki}|,
+//
+// the worst-case (over the node i where a unit of load starts) accumulated
+// across-edge imbalance of the idealized chain. [16] prove
+// Ψ(M) = O(δ·log n/µ); the series converges because the edge differences
+// decay like γᵗ, so a horizon of a few multiples of 1/µ·log n captures it.
+//
+// Cost is O(T·n·m) time with O(n²) memory (the full matrix power is
+// iterated column-wise); intended for the dense experiment sizes.
+func PsiMatrix(g *graph.G, m *matrix.Dense, horizon int) float64 {
+	n := g.N()
+	if m.Rows() != n || m.Cols() != n {
+		panic("markov: PsiMatrix dimension mismatch")
+	}
+	edges := g.Edges()
+	worst := 0.0
+	col := make(matrix.Vector, n)
+	next := make(matrix.Vector, n)
+	for i := 0; i < n; i++ {
+		// col = Mᵗ·eᵢ, iterated over t. (M is symmetric, so columns of Mᵗ
+		// are Mᵗ·eᵢ.)
+		for k := range col {
+			col[k] = 0
+		}
+		col[i] = 1
+		var acc float64
+		for t := 0; t < horizon; t++ {
+			for _, e := range edges {
+				d := col[e.U] - col[e.V]
+				if d < 0 {
+					d = -d
+				}
+				acc += d
+			}
+			m.MulVecTo(next, col)
+			col, next = next, col
+		}
+		if acc > worst {
+			worst = acc
+		}
+	}
+	return worst
+}

@@ -1,0 +1,66 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+func TestPsiMatrixCompleteGraph(t *testing.T) {
+	// K_n with α = 1/n balances a unit spike in a single step, so only the
+	// t=0 term contributes: a spike at i differs by 1 across the n−1 edges
+	// at i ⇒ Ψ = n−1.
+	g := graph.Complete(8)
+	m := spectral.DiffusionMatrix(g)
+	psi := PsiMatrix(g, m, 50)
+	if math.Abs(psi-7) > 1e-9 {
+		t.Fatalf("Ψ(K8) = %v, want 7", psi)
+	}
+}
+
+func TestPsiMatrixConvergesWithHorizon(t *testing.T) {
+	// The series must saturate: doubling a sufficient horizon changes Ψ
+	// only marginally.
+	g := graph.Torus(4, 4)
+	m := spectral.DiffusionMatrix(g)
+	a := PsiMatrix(g, m, 200)
+	b := PsiMatrix(g, m, 400)
+	if b < a {
+		t.Fatalf("Ψ must be monotone in horizon: %v then %v", a, b)
+	}
+	if (b-a)/b > 1e-6 {
+		t.Fatalf("Ψ not saturated: %v → %v", a, b)
+	}
+}
+
+func TestPsiMatrixBoundShape(t *testing.T) {
+	// [16]: Ψ(M) = O(δ·log n/µ). Check the measured value sits within a
+	// moderate constant of the shape on several topologies.
+	for _, g := range []*graph.G{graph.Cycle(16), graph.Torus(4, 4), graph.Hypercube(4), graph.Complete(12)} {
+		m := spectral.DiffusionMatrix(g)
+		mu, err := spectral.EigenGap(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		horizon := int(20/mu) + 50
+		psi := PsiMatrix(g, m, horizon)
+		shape := PsiBoundShape(g, mu)
+		if psi <= 0 {
+			t.Fatalf("%s: Ψ = %v", g.Name(), psi)
+		}
+		if psi > 20*shape {
+			t.Fatalf("%s: Ψ = %v far above bound shape %v", g.Name(), psi, shape)
+		}
+	}
+}
+
+func TestPsiMatrixDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PsiMatrix(graph.Cycle(4), spectral.DiffusionMatrix(graph.Cycle(6)), 10)
+}

@@ -1,0 +1,321 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDenseZero(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("fresh matrix not zero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewDenseFrom(t *testing.T) {
+	m, err := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("unexpected entries: %v", m)
+	}
+}
+
+func TestNewDenseFromRagged(t *testing.T) {
+	if _, err := NewDenseFrom([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error on ragged rows")
+	}
+}
+
+func TestNewDenseFromEmpty(t *testing.T) {
+	m, err := NewDenseFrom(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("empty matrix shape %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("I[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAddAt(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Fatalf("At(0,1) = %v, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 5, 5)
+	got, err := a.Mul(Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !densesEqual(got, a, 0) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewDenseFrom([][]float64{{5, 6}, {7, 8}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewDenseFrom([][]float64{{19, 22}, {43, 50}})
+	if !densesEqual(got, want, 0) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	if _, err := NewDense(2, 3).Mul(NewDense(2, 3)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got, err := a.MulVec(Vector{1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestMulVecMismatch(t *testing.T) {
+	if _, err := NewDense(2, 3).MulVec(Vector{1, 2}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("shape %dx%d", at.Rows(), at.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != at.At(j, i) {
+				t.Fatal("transpose mismatch")
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 4, 7)
+	if !densesEqual(a.Transpose().Transpose(), a, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestAddSubMat(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 3, 3)
+	b := randomDense(rng, 3, 3)
+	sum, err := a.AddMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := sum.SubMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !densesEqual(diff, a, 1e-12) {
+		t.Fatal("(A+B)−B != A")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, -2}, {3, 4}})
+	a.Scale(2)
+	if a.At(0, 1) != -4 || a.At(1, 1) != 8 {
+		t.Fatalf("scale wrong: %v", a)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s, _ := NewDenseFrom([][]float64{{1, 2}, {2, 1}})
+	if !s.IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	a, _ := NewDenseFrom([][]float64{{1, 2}, {3, 1}})
+	if a.IsSymmetric(0.5) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+	if NewDense(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square cannot be symmetric")
+	}
+}
+
+func TestRowSums(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{0.25, 0.75}, {0.5, 0.5}})
+	rs := a.RowSums()
+	if math.Abs(rs[0]-1) > 1e-15 || math.Abs(rs[1]-1) > 1e-15 {
+		t.Fatalf("row sums %v", rs)
+	}
+}
+
+func TestFrobeniusAndMaxAbs(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{3, 0}, {0, -4}})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v, want 5", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestRowCopySemantics(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(0)
+	r[0] = 99
+	if a.At(0, 0) != 1 {
+		t.Fatal("Row must copy")
+	}
+	raw := a.RawRow(0)
+	raw[0] = 99
+	if a.At(0, 0) != 99 {
+		t.Fatal("RawRow must share")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	b := a.Clone()
+	b.Set(0, 0, -1)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+// Property: matrix multiplication is associative (up to float tolerance).
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + r.Intn(5)
+		a, b, c := randomDense(r, n, n), randomDense(r, n, n), randomDense(r, n, n)
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		return densesEqual(abc1, abc2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·x)·y == x·(Aᵀ·y).
+func TestAdjointProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 2 + r.Intn(6)
+		a := randomDense(r, n, n)
+		x, y := randomVector(r, n), randomVector(r, n)
+		ax, _ := a.MulVec(x)
+		aty, _ := a.Transpose().MulVec(y)
+		return math.Abs(ax.Dot(y)-x.Dot(aty)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomDense(rng, 6, 4)
+	x := randomVector(rng, 4)
+	want, _ := a.MulVec(x)
+	got := make(Vector, 6)
+	a.MulVecTo(got, x)
+	if !got.ApproxEqual(want, 0) {
+		t.Fatalf("MulVecTo %v != MulVec %v", got, want)
+	}
+}
+
+func TestStringSmallAndLarge(t *testing.T) {
+	small, _ := NewDenseFrom([][]float64{{1, 2}, {3, 4}})
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	big := NewDense(20, 20)
+	if s := big.String(); len(s) > 40 {
+		t.Fatalf("large matrix should be abbreviated, got %q", s)
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func randomVector(rng *rand.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func densesEqual(a, b *Dense, tol float64) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if math.Abs(a.At(i, j)-b.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,206 @@
+// Package randpair implements Algorithm 2 of the paper (§6): load balancing
+// with randomly chosen balancing partners.
+//
+// In every round, each node independently picks a partner uniformly at
+// random from all n nodes, creating the link multigraph E; then, for every
+// link (i, j) with ℓᵢ > ℓⱼ, node i sends (ℓᵢ−ℓⱼ)/(4·max(dᵢ,dⱼ)) (continuous)
+// or its floor (discrete), where dᵢ is the number of links incident to i in
+// this round's E. The same node can be chosen by many peers, so transfers
+// are genuinely concurrent — the situation the paper's proof technique is
+// built for.
+//
+// The analysis quantities are exposed so the experiments can check them
+// directly: partner-degree statistics for Lemma 9, the per-round expected
+// drop factors 19/20 (Lemma 11) and 39/40 (Lemma 13), and the discrete
+// threshold 3200·n (Theorem 14).
+package randpair
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/load"
+)
+
+// Link is one balancing link of a round; unlike graph.Edge it is not
+// canonicalized because (i→j) records who picked whom, and duplicates may
+// occur (i picks j while j picks i — two links in the multiset E).
+type Link struct {
+	From, To int
+}
+
+// RoundLinks draws the round's link multiset: node i picks a uniformly
+// random partner (possibly itself; self-picks are dropped, matching the
+// "choose from all other nodes" reading with negligible distributional
+// difference for large n — a self-link would transfer nothing anyway).
+func RoundLinks(n int, rng *rand.Rand) []Link {
+	links := make([]Link, 0, n)
+	for i := 0; i < n; i++ {
+		j := rng.Intn(n)
+		if j == i {
+			continue
+		}
+		links = append(links, Link{From: i, To: j})
+	}
+	return links
+}
+
+// Degrees returns d(i) — the number of links incident to node i — for the
+// given link multiset.
+func Degrees(n int, links []Link) []int {
+	d := make([]int, n)
+	for _, l := range links {
+		d[l.From]++
+		d[l.To]++
+	}
+	return d
+}
+
+// DiscreteThreshold is the Φ threshold 3200·n of Lemma 13/Theorem 14 below
+// which the discrete analysis stops guaranteeing expected progress.
+func DiscreteThreshold(n int) float64 { return 3200 * float64(n) }
+
+// ContinuousDropBound is the Lemma 11 per-round expected contraction
+// factor: E[Φᵗ⁺¹] ≤ (19/20)·Φᵗ.
+const ContinuousDropBound = 19.0 / 20.0
+
+// DiscreteDropBound is the Lemma 13 per-round expected contraction factor
+// above the threshold: E[Φᵗ⁺¹] ≤ (39/40)·Φᵗ.
+const DiscreteDropBound = 39.0 / 40.0
+
+// Continuous is the continuous Algorithm 2 stepper.
+type Continuous struct {
+	Load *load.Continuous
+	RNG  *rand.Rand
+
+	// LastLinks / LastDegrees expose the most recent round's structure for
+	// the Lemma 9 experiments.
+	LastLinks   []Link
+	LastDegrees []int
+}
+
+// NewContinuous creates a stepper over a copy of the initial loads.
+func NewContinuous(initial []float64, rng *rand.Rand) *Continuous {
+	return &Continuous{Load: load.NewContinuous(initial), RNG: rng}
+}
+
+// Step performs one round: draw links, then apply all transfers computed
+// from the round-start loads concurrently.
+func (c *Continuous) Step() {
+	n := c.Load.N()
+	links := RoundLinks(n, c.RNG)
+	deg := Degrees(n, links)
+	v := c.Load.Vector()
+	start := v.Clone()
+	for _, lk := range links {
+		i, j := lk.From, lk.To
+		d := deg[i]
+		if deg[j] > d {
+			d = deg[j]
+		}
+		if d == 0 {
+			continue
+		}
+		diff := start[i] - start[j]
+		if diff == 0 {
+			continue
+		}
+		w := math.Abs(diff) / (4 * float64(d))
+		if diff > 0 {
+			v[i] -= w
+			v[j] += w
+		} else {
+			v[j] -= w
+			v[i] += w
+		}
+	}
+	c.LastLinks, c.LastDegrees = links, deg
+}
+
+// Potential returns Φ of the current distribution.
+func (c *Continuous) Potential() float64 { return c.Load.Potential() }
+
+// Discrete is the discrete Algorithm 2 stepper (floor transfers).
+type Discrete struct {
+	Load *load.Discrete
+	RNG  *rand.Rand
+
+	LastLinks   []Link
+	LastDegrees []int
+}
+
+// NewDiscrete creates a stepper over a copy of the initial token counts.
+func NewDiscrete(initial []int64, rng *rand.Rand) *Discrete {
+	return &Discrete{Load: load.NewDiscrete(initial), RNG: rng}
+}
+
+// Step performs one round with ⌊(ℓᵢ−ℓⱼ)/(4·max(dᵢ,dⱼ))⌋-token transfers.
+func (d *Discrete) Step() {
+	n := d.Load.N()
+	links := RoundLinks(n, d.RNG)
+	deg := Degrees(n, links)
+	v := d.Load.Tokens()
+	start := make([]int64, n)
+	copy(start, v)
+	for _, lk := range links {
+		i, j := lk.From, lk.To
+		dd := deg[i]
+		if deg[j] > dd {
+			dd = deg[j]
+		}
+		if dd == 0 {
+			continue
+		}
+		diff := start[i] - start[j]
+		if diff == 0 {
+			continue
+		}
+		abs := diff
+		if abs < 0 {
+			abs = -abs
+		}
+		t := abs / int64(4*dd)
+		if t == 0 {
+			continue
+		}
+		if diff > 0 {
+			v[i] -= t
+			v[j] += t
+		} else {
+			v[j] -= t
+			v[i] += t
+		}
+	}
+	d.LastLinks, d.LastDegrees = links, deg
+}
+
+// Potential returns Φ of the current distribution.
+func (d *Discrete) Potential() float64 { return d.Load.Potential() }
+
+// PartnerDegreeProbe estimates, by Monte-Carlo over rounds, the Lemma 9
+// conditional probability Pr[max(dᵢ,dⱼ) ≤ 5 | (i,j) ∈ E]: the fraction of
+// links in the drawn multisets whose endpoint degrees are both ≤ 5.
+func PartnerDegreeProbe(n, rounds int, rng *rand.Rand) (prob float64, maxDegSeen int) {
+	var ok, total int
+	for r := 0; r < rounds; r++ {
+		links := RoundLinks(n, rng)
+		deg := Degrees(n, links)
+		for _, lk := range links {
+			d := deg[lk.From]
+			if deg[lk.To] > d {
+				d = deg[lk.To]
+			}
+			if d > maxDegSeen {
+				maxDegSeen = d
+			}
+			if d <= 5 {
+				ok++
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(ok) / float64(total), maxDegSeen
+}

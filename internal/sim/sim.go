@@ -1,0 +1,136 @@
+// Package sim is the round-based simulation driver shared by the examples,
+// the experiment harness and the integration tests. It runs any stepper —
+// every algorithm package exposes the same tiny System surface — until a
+// stopping condition fires, recording the potential trajectory and derived
+// convergence metrics.
+//
+// The synchronous-round model of the paper maps directly onto this driver:
+// one Step call is one parallel round; the driver never interleaves rounds.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// System is the stepper interface implemented by every balancing algorithm
+// in this repository (diffusion.Continuous, diffusion.Discrete,
+// dimexchange.*, randpair.*, diffusion.FirstOrder, …).
+type System interface {
+	// Step advances the system one synchronous round.
+	Step()
+	// Potential returns Φ of the current load distribution.
+	Potential() float64
+}
+
+// StopFunc inspects the state after each round and returns true to halt.
+// round is 1-based (the number of completed rounds), phi the potential
+// after that round.
+type StopFunc func(round int, phi float64) bool
+
+// UntilPotential stops once Φ ≤ target.
+func UntilPotential(target float64) StopFunc {
+	return func(_ int, phi float64) bool { return phi <= target }
+}
+
+// UntilFraction stops once Φ ≤ frac·Φ⁰; phi0 must be the starting
+// potential.
+func UntilFraction(phi0, frac float64) StopFunc {
+	target := phi0 * frac
+	return func(_ int, phi float64) bool { return phi <= target }
+}
+
+// Never runs to the round limit.
+func Never() StopFunc { return func(int, float64) bool { return false } }
+
+// Result is the trajectory record of one run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Phi holds Φ after round t at index t (index 0 is the starting Φ), so
+	// len(Phi) == Rounds+1.
+	Phi []float64
+	// Converged reports whether the stop condition fired (false means the
+	// round limit was hit first).
+	Converged bool
+}
+
+// PhiStart returns the initial potential.
+func (r Result) PhiStart() float64 { return r.Phi[0] }
+
+// PhiEnd returns the final potential.
+func (r Result) PhiEnd() float64 { return r.Phi[len(r.Phi)-1] }
+
+// DropFactors returns the per-round ratios Φᵗ⁺¹/Φᵗ (skipping rounds with
+// Φᵗ = 0); the experiments compare their mean against the paper's
+// contraction constants.
+func (r Result) DropFactors() []float64 {
+	out := make([]float64, 0, r.Rounds)
+	for t := 0; t+1 < len(r.Phi); t++ {
+		if r.Phi[t] > 0 {
+			out = append(out, r.Phi[t+1]/r.Phi[t])
+		}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("Result{rounds=%d Φ: %.4g → %.4g converged=%v}", r.Rounds, r.PhiStart(), r.PhiEnd(), r.Converged)
+}
+
+// Run drives sys until stop fires or maxRounds elapse, recording Φ after
+// every round. maxRounds must be ≥ 0.
+func Run(sys System, maxRounds int, stop StopFunc) Result {
+	if maxRounds < 0 {
+		panic("sim: negative maxRounds")
+	}
+	res := Result{Phi: make([]float64, 1, maxRounds+1)}
+	res.Phi[0] = sys.Potential()
+	if stop != nil && stop(0, res.Phi[0]) {
+		res.Converged = true
+		return res
+	}
+	for t := 1; t <= maxRounds; t++ {
+		sys.Step()
+		phi := sys.Potential()
+		res.Phi = append(res.Phi, phi)
+		res.Rounds = t
+		if stop != nil && stop(t, phi) {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+// RoundsToFraction runs sys until Φ ≤ frac·Φ⁰ and returns the round count,
+// or maxRounds+1 if the target was not reached (sentinel convention used by
+// the comparison experiments: "did not converge within budget").
+func RoundsToFraction(sys System, frac float64, maxRounds int) int {
+	phi0 := sys.Potential()
+	if phi0 == 0 {
+		return 0
+	}
+	res := Run(sys, maxRounds, UntilFraction(phi0, frac))
+	if !res.Converged {
+		return maxRounds + 1
+	}
+	return res.Rounds
+}
+
+// MeanDropFactor runs sys for exactly rounds rounds and returns the
+// geometric-mean per-round contraction factor (Φᵀ/Φ⁰)^(1/T); NaN when the
+// potential hits zero or the start is already balanced.
+func MeanDropFactor(sys System, rounds int) float64 {
+	phi0 := sys.Potential()
+	if phi0 <= 0 {
+		return math.NaN()
+	}
+	res := Run(sys, rounds, Never())
+	phiT := res.PhiEnd()
+	if phiT <= 0 {
+		return math.NaN()
+	}
+	return math.Pow(phiT/phi0, 1/float64(rounds))
+}

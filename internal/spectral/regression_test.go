@@ -1,0 +1,43 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Regression: the QL negligibility test must be scale-aware. K_n's uniform
+// diffusion matrix has eigenvalue 0 with multiplicity n−1; with an
+// absolute-zero threshold the sweep never terminates for n ≳ 64.
+func TestGammaCompleteLargeDegenerate(t *testing.T) {
+	for _, n := range []int{8, 16, 32, 64, 128} {
+		g := graph.Complete(n)
+		gamma, err := Gamma(DiffusionMatrix(g))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if math.Abs(gamma) > 1e-10 {
+			t.Fatalf("n=%d: γ = %v, want ≈0", n, gamma)
+		}
+	}
+}
+
+// Regression companion: eigenvalues of the same degenerate family must also
+// come out right through the Jacobi path (mutual cross-check).
+func TestJacobiCompleteDegenerate(t *testing.T) {
+	g := graph.Complete(64)
+	vals, err := JacobiEigen(DiffusionMatrix(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(vals)
+	if math.Abs(vals[n-1]-1) > 1e-9 {
+		t.Fatalf("top eigenvalue %v, want 1", vals[n-1])
+	}
+	for _, v := range vals[:n-1] {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("non-top eigenvalue %v, want 0", v)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: summary statistics, quantiles, normal-approximation
+// confidence intervals, histograms, and least-squares fits used to estimate
+// empirical convergence rates from potential traces.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual moments of a sample.
+type Summary struct {
+	N              int
+	Mean, Variance float64 // unbiased (n−1) variance
+	Min, Max       float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields zeros with
+// Min = +Inf, Max = −Inf.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.N == 0 {
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+	}
+	return s
+}
+
+// Stddev returns the sample standard deviation.
+func (s Summary) Stddev() float64 { return math.Sqrt(s.Variance) }
+
+// StderrMean returns the standard error of the mean.
+func (s Summary) StderrMean() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(s.N))
+}
+
+// CI95 returns a normal-approximation 95% confidence interval for the mean.
+func (s Summary) CI95() (lo, hi float64) {
+	h := 1.96 * s.StderrMean()
+	return s.Mean - h, s.Mean + h
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", s.N, s.Mean, s.Stddev(), s.Min, s.Max)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. Panics on an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile q=%v out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// LinearFit fits y ≈ a + b·x by ordinary least squares and returns the
+// intercept a, slope b, and the coefficient of determination R².
+// Fitting log Φ(t) against t recovers the empirical per-round decay rate
+// that the theorems bound. Requires len(x) == len(y) ≥ 2.
+func LinearFit(x, y []float64) (a, b, r2 float64) {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		panic("stats: LinearFit needs two equal-length samples of size >= 2")
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return my, 0, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	if syy == 0 {
+		return a, b, 1
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return a, b, r2
+}
+
+// GeometricDecayRate estimates the per-step multiplicative decay factor of
+// a positive series (e.g. the potential trace Φ⁰, Φ¹, …) by an OLS fit of
+// log values; the returned rate r satisfies series[t] ≈ series[0]·rᵗ.
+// Entries ≤ 0 terminate the usable prefix. Returns 1 if fewer than two
+// usable points exist.
+func GeometricDecayRate(series []float64) float64 {
+	xs := make([]float64, 0, len(series))
+	ys := make([]float64, 0, len(series))
+	for t, v := range series {
+		if v <= 0 {
+			break
+		}
+		xs = append(xs, float64(t))
+		ys = append(ys, math.Log(v))
+	}
+	if len(xs) < 2 {
+		return 1
+	}
+	_, slope, _ := LinearFit(xs, ys)
+	return math.Exp(slope)
+}
+
+// Histogram counts xs into nbins equal-width bins spanning [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram of xs with nbins bins. Empty samples and
+// constant samples produce a single bin containing everything.
+func NewHistogram(xs []float64, nbins int) Histogram {
+	if nbins < 1 {
+		nbins = 1
+	}
+	s := Summarize(xs)
+	h := Histogram{Min: s.Min, Max: s.Max, Counts: make([]int, nbins)}
+	if s.N == 0 {
+		return h
+	}
+	width := (s.Max - s.Min) / float64(nbins)
+	for _, x := range xs {
+		var b int
+		if width > 0 {
+			b = int((x - s.Min) / width)
+			if b >= nbins {
+				b = nbins - 1
+			}
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// Mode returns the index of the fullest bin.
+func (h Histogram) Mode() int {
+	best, bestC := 0, -1
+	for i, c := range h.Counts {
+		if c > bestC {
+			best, bestC = i, c
+		}
+	}
+	return best
+}

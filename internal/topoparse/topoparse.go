@@ -1,0 +1,137 @@
+// Package topoparse turns command-line topology descriptions into graphs.
+// It is shared by cmd/lbsim, cmd/graphinfo and the examples so that every
+// binary accepts the same names, and it is unit-tested here once instead of
+// per-binary.
+//
+// Accepted forms (n is the requested approximate node count; families with
+// rigid sizes round up):
+//
+//	path cycle|ring grid|mesh torus hypercube debruijn complete star tree
+//	random-regular petersen barbell lollipop
+package topoparse
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Names lists the accepted topology names in display order.
+func Names() []string {
+	return []string{
+		"path", "cycle", "grid", "torus", "torus3d", "hypercube", "debruijn",
+		"ccc", "butterfly", "complete", "star", "tree", "random-regular",
+		"petersen", "barbell", "lollipop", "smallworld", "rgg",
+	}
+}
+
+// Build constructs the named topology at (approximately) n nodes. Families
+// indexed by a side/dimension round n up to the next valid size. seed feeds
+// the randomized families only.
+func Build(name string, n int, seed int64) (*graph.G, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topoparse: n must be positive, got %d", n)
+	}
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "path", "line":
+		return graph.Path(n), nil
+	case "cycle", "ring":
+		if n < 3 {
+			return nil, fmt.Errorf("topoparse: cycle needs n ≥ 3, got %d", n)
+		}
+		return graph.Cycle(n), nil
+	case "grid", "mesh":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return graph.Grid(side, side), nil
+	case "torus":
+		side := 3
+		for side*side < n {
+			side++
+		}
+		return graph.Torus(side, side), nil
+	case "hypercube":
+		d := 0
+		for 1<<uint(d) < n {
+			d++
+		}
+		return graph.Hypercube(d), nil
+	case "debruijn":
+		d := 1
+		for 1<<uint(d) < n {
+			d++
+		}
+		return graph.DeBruijn(d), nil
+	case "complete", "clique":
+		return graph.Complete(n), nil
+	case "star":
+		if n < 2 {
+			return nil, fmt.Errorf("topoparse: star needs n ≥ 2, got %d", n)
+		}
+		return graph.Star(n), nil
+	case "tree", "bintree":
+		levels := 1
+		for (1<<uint(levels))-1 < n {
+			levels++
+		}
+		return graph.BinaryTree(levels), nil
+	case "random-regular", "regular":
+		d := 4
+		if d >= n {
+			return nil, fmt.Errorf("topoparse: random-regular needs n > 4, got %d", n)
+		}
+		if n*d%2 != 0 {
+			n++
+		}
+		return graph.RandomRegular(n, d, rand.New(rand.NewSource(seed))), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "torus3d":
+		side := 3
+		for side*side*side < n {
+			side++
+		}
+		return graph.Torus3D(side, side, side), nil
+	case "ccc":
+		d := 3
+		for d*(1<<uint(d)) < n {
+			d++
+		}
+		return graph.CubeConnectedCycles(d), nil
+	case "butterfly":
+		d := 3
+		for d*(1<<uint(d)) < n {
+			d++
+		}
+		return graph.Butterfly(d), nil
+	case "smallworld":
+		if n < 5 {
+			return nil, fmt.Errorf("topoparse: smallworld needs n ≥ 5, got %d", n)
+		}
+		return graph.SmallWorld(n, 2, 0.1, rand.New(rand.NewSource(seed))), nil
+	case "rgg":
+		if n < 2 {
+			return nil, fmt.Errorf("topoparse: rgg needs n ≥ 2, got %d", n)
+		}
+		r := 2 * graph.ConnectivityRadius(n)
+		return graph.RandomGeometric(n, r, rand.New(rand.NewSource(seed))), nil
+	case "barbell":
+		k := n / 2
+		if k < 2 {
+			return nil, fmt.Errorf("topoparse: barbell needs n ≥ 4, got %d", n)
+		}
+		return graph.Barbell(k), nil
+	case "lollipop":
+		k := n * 2 / 3
+		if k < 2 || n-k < 1 {
+			return nil, fmt.Errorf("topoparse: lollipop needs n ≥ 4, got %d", n)
+		}
+		return graph.Lollipop(k, n-k), nil
+	default:
+		return nil, fmt.Errorf("topoparse: unknown topology %q (accepted: %s)", name, strings.Join(Names(), " "))
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.Note("a footnote")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"== demo ==", "name", "alpha", "beta", "2.5", "note: a footnote"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRowTooWidePanics(t *testing.T) {
+	tb := NewTable("x", "only")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.AddRow("a", "b")
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("only")
+	var buf strings.Builder
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderCSVQuoting(t *testing.T) {
+	tb := NewTable("", "k", "v")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"with""quote"`) {
+		t.Fatalf("quote cell not escaped: %s", out)
+	}
+}
+
+func TestSeriesAppendAndRender(t *testing.T) {
+	s1 := &Series{Name: "phi"}
+	s2 := &Series{Name: "bound"}
+	for i := 0; i < 3; i++ {
+		s1.Append(float64(i), float64(10-i))
+		s2.Append(float64(i), float64(20-i))
+	}
+	s2.Append(3, 0) // longer series must be truncated to the shortest
+	var b strings.Builder
+	if err := RenderSeries(&b, s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "x,phi,bound\n") {
+		t.Fatalf("header wrong: %s", out)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Fatalf("want 4 lines, got %q", out)
+	}
+}
+
+func TestRenderSeriesEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := RenderSeries(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatal("no series must render nothing")
+	}
+}
+
+func TestAddRowfFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRowf(3.14159265)
+	if tb.Rows[0][0] != "3.142" {
+		t.Fatalf("float formatting: %q", tb.Rows[0][0])
+	}
+}

@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContinuousSpike(t *testing.T) {
+	v := Continuous(Spike, 5, 100, nil)
+	if v[0] != 100 {
+		t.Fatalf("spike head %v", v[0])
+	}
+	for i := 1; i < 5; i++ {
+		if v[i] != 0 {
+			t.Fatalf("spike tail %d = %v", i, v[i])
+		}
+	}
+}
+
+func TestContinuousFlatBalanced(t *testing.T) {
+	v := Continuous(Flat, 4, 7, nil)
+	for _, x := range v {
+		if x != 7 {
+			t.Fatalf("flat: %v", v)
+		}
+	}
+}
+
+func TestContinuousRamp(t *testing.T) {
+	v := Continuous(LinearRamp, 4, 8, nil)
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			t.Fatalf("ramp not increasing: %v", v)
+		}
+	}
+}
+
+func TestContinuousRandomKindsNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []Kind{Uniform, Exponential, PowerLaw, Bimodal} {
+		v := Continuous(k, 50, 10, rng)
+		if len(v) != 50 {
+			t.Fatalf("%v: length %d", k, len(v))
+		}
+		for i, x := range v {
+			if x < 0 {
+				t.Fatalf("%v: negative load at %d: %v", k, i, x)
+			}
+		}
+	}
+}
+
+func TestContinuousDeterministicGivenSeed(t *testing.T) {
+	a := Continuous(Uniform, 20, 5, rand.New(rand.NewSource(9)))
+	b := Continuous(Uniform, 20, 5, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}
+
+func TestDiscreteSpikeExactTotal(t *testing.T) {
+	v := Discrete(Spike, 8, 1000, nil)
+	if v[0] != 1000 {
+		t.Fatalf("spike head %d", v[0])
+	}
+	if total(v) != 1000 {
+		t.Fatal("total wrong")
+	}
+}
+
+// Every discrete kind must hit the requested total exactly and stay
+// nonnegative — the token-conservation contract of the whole repo.
+func TestDiscreteExactTotalsProperty(t *testing.T) {
+	f := func(seed uint8, kindRaw uint8) bool {
+		kinds := AllKinds()
+		kind := kinds[int(kindRaw)%len(kinds)]
+		r := rand.New(rand.NewSource(int64(seed)))
+		n := 1 + r.Intn(60)
+		want := int64(r.Intn(100000))
+		v := Discrete(kind, n, want, r)
+		if len(v) != n {
+			return false
+		}
+		for _, x := range v {
+			if x < 0 {
+				return false
+			}
+		}
+		return total(v) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscreteZeroNodes(t *testing.T) {
+	if v := Discrete(Spike, 0, 100, nil); v != nil {
+		t.Fatal("0 nodes must yield nil")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range AllKinds() {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind formatting")
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Continuous(Kind(99), 3, 1, nil)
+}
+
+func TestRebalanceTotalNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := []int64{3, 0, 1}
+	rebalanceTotal(v, -10, rng) // asks to remove more than exists
+	for _, x := range v {
+		if x < 0 {
+			t.Fatalf("negative after rebalance: %v", v)
+		}
+	}
+	if total(v) != 0 {
+		t.Fatalf("should drain to zero, got %v", v)
+	}
+}
+
+func total(v []int64) int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
