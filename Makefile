@@ -1,0 +1,35 @@
+# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs the
+# same build, vet, gofmt, race-test and benchmark-smoke steps the workflow
+# does, so a green `make ci` means a green PR.
+
+GO ?= go
+
+.PHONY: build test vet fmt fmt-check bench grid-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+grid-smoke:
+	$(GO) run ./cmd/lbbench -grid -n 32 -seeds 1,2 -parallel 1 -format csv > /tmp/lbbench-w1.csv
+	$(GO) run ./cmd/lbbench -grid -n 32 -seeds 1,2 -parallel 8 -format csv > /tmp/lbbench-w8.csv
+	cmp /tmp/lbbench-w1.csv /tmp/lbbench-w8.csv
+
+ci: build vet fmt-check test bench grid-smoke

@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/diffusion"
 	"repro/internal/dimexchange"
 	"repro/internal/experiments"
@@ -69,6 +71,36 @@ func BenchmarkA5SyncVsAsync(b *testing.B)             { benchExperiment(b, "A5")
 func BenchmarkA6Heterogeneous(b *testing.B)           { benchExperiment(b, "A6") }
 func BenchmarkA7PsiExact(b *testing.B)                { benchExperiment(b, "A7") }
 func BenchmarkA8MatchingSchedule(b *testing.B)        { benchExperiment(b, "A8") }
+
+// --- batch grid engine ---
+
+// benchGrid measures one full sweep of the batch engine at the given pool
+// width; the serial/parallel pair quantifies the engine's speedup.
+func benchGrid(b *testing.B, workers int) {
+	b.Helper()
+	spec := batch.Spec{
+		Topologies: []string{"cycle", "torus", "hypercube"},
+		Algorithms: []string{"diffusion", "dimexchange", "randpair"},
+		Modes:      []string{"continuous", "discrete"},
+		Workloads:  []string{"spike", "uniform"},
+		Seeds:      []int64{1, 2},
+		N:          32,
+		Workers:    workers,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.BalanceGrid(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Failed() > 0 {
+			b.Fatalf("%d grid units failed", rep.Failed())
+		}
+	}
+}
+
+func BenchmarkBalanceGridSerial(b *testing.B)   { benchGrid(b, 1) }
+func BenchmarkBalanceGridParallel(b *testing.B) { benchGrid(b, 0) }
 
 // --- primitive micro-benchmarks ---
 

@@ -1,36 +1,62 @@
-// Command lbbench regenerates the paper-reproduction experiment tables.
+// Command lbbench regenerates the paper-reproduction experiment tables and
+// runs declarative sweep grids through the parallel batch engine.
 //
-// Usage:
+// Experiment mode (one table per experiment of DESIGN.md §5):
 //
-//	lbbench -exp all            # run every experiment (E1–E14, A1–A3)
+//	lbbench -exp all            # run every experiment (E1–E19, A1–A8)
 //	lbbench -exp E3,E4          # run selected experiments
 //	lbbench -exp E9 -seed 7     # change the seed
 //	lbbench -list               # list experiment ids
 //	lbbench -quick              # shrunk sweeps (CI-sized)
 //	lbbench -csv                # CSV instead of aligned tables
+//	lbbench -parallel 8         # fan each experiment's sweep over 8 workers
 //
-// Each experiment prints one table pairing the measured quantity with the
-// paper's bound; see DESIGN.md §5 for the experiment ↔ theorem mapping and
-// EXPERIMENTS.md for a recorded reference run.
+// Grid mode (one invocation reproduces a whole paper figure's sweep):
+//
+//	lbbench -grid -topos cycle,torus,hypercube \
+//	        -algos diffusion,dimexchange,randpair \
+//	        -modes continuous,discrete -loads spike,uniform \
+//	        -n 64 -seeds 1,2,3 -parallel 8 -format csv
+//
+// The grid expands to topologies × algorithms × modes × workloads × seeds
+// run units, executes them across -parallel workers with per-unit
+// deterministic RNG streams, and emits one aggregated report (table, csv or
+// json). Output is identical for any -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		seed  = flag.Int64("seed", 1, "seed for randomized components")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed     = flag.Int64("seed", 1, "seed for randomized components (experiment mode)")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables (experiment mode)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		parallel = flag.Int("parallel", 0, "worker-pool width for sweeps (0 = GOMAXPROCS)")
+
+		grid   = flag.Bool("grid", false, "run a declarative sweep grid instead of the experiment tables")
+		topos  = flag.String("topos", "cycle,torus,hypercube", "grid: comma-separated topology names")
+		algos  = flag.String("algos", "diffusion,dimexchange,randpair", "grid: comma-separated algorithm names")
+		modes  = flag.String("modes", "continuous", "grid: comma-separated load modes (continuous,discrete)")
+		loads  = flag.String("loads", "spike,uniform", "grid: comma-separated workload kinds")
+		n      = flag.Int("n", 64, "grid: approximate node count per topology")
+		seeds  = flag.String("seeds", "1", "grid: comma-separated repetition seeds")
+		scale  = flag.Float64("scale", 1e6, "grid: load magnitude")
+		eps    = flag.Float64("eps", 1e-3, "grid: convergence target Φ ≤ ε·Φ⁰")
+		rounds = flag.Int("rounds", 0, "grid: round cap per unit (0 = theorem-derived default)")
+		format = flag.String("format", "table", "grid: output format (table, csv, json)")
 	)
 	flag.Parse()
 
@@ -40,46 +66,134 @@ func main() {
 		}
 		return
 	}
+	if *grid {
+		os.Exit(runGrid(*topos, *algos, *modes, *loads, *seeds, *n, *scale, *eps, *rounds, *parallel, *format))
+	}
+	os.Exit(runExperiments(*exp, *seed, *quick, *csv, *parallel))
+}
 
+// runExperiments is the classic per-experiment table mode.
+func runExperiments(exp string, seed int64, quick, csv bool, workers int) int {
 	var ids []string
-	if *exp == "all" {
+	if exp == "all" {
 		ids = experiments.IDs()
 	} else {
-		for _, id := range strings.Split(*exp, ",") {
+		for _, id := range strings.Split(exp, ",") {
 			id = strings.TrimSpace(id)
 			if id == "" {
 				continue
 			}
 			if _, ok := experiments.Lookup(id); !ok {
 				fmt.Fprintf(os.Stderr, "lbbench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
 	}
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "lbbench: no experiments selected")
-		os.Exit(2)
+		return 2
 	}
 
-	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	opts := experiments.Options{Seed: seed, Quick: quick, Workers: workers}
 	for _, id := range ids {
 		runner, _ := experiments.Lookup(id)
 		start := time.Now()
 		table := runner(opts)
 		elapsed := time.Since(start)
 		var err error
-		if *csv {
+		if csv {
 			err = table.RenderCSV(os.Stdout)
 		} else {
 			err = table.Render(os.Stdout)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbbench: rendering %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
-		if !*csv {
+		if !csv {
 			fmt.Printf("[%s completed in %v]\n\n", id, elapsed.Round(time.Millisecond))
 		}
 	}
+	return 0
+}
+
+// runGrid expands and executes one declarative sweep through the batch
+// engine and emits the aggregated report.
+func runGrid(topos, algos, modes, loads, seeds string, n int, scale, eps float64, rounds, workers int, format string) int {
+	seedList, err := parseSeeds(seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		return 2
+	}
+	spec := batch.Spec{
+		Topologies: splitList(topos),
+		Algorithms: splitList(algos),
+		Modes:      splitList(modes),
+		Workloads:  splitList(loads),
+		Seeds:      seedList,
+		N:          n,
+		Scale:      scale,
+		Epsilon:    eps,
+		MaxRounds:  rounds,
+		Workers:    workers,
+	}
+	report, err := core.BalanceGrid(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		return 2
+	}
+
+	switch format {
+	case "table":
+		err = report.Table().Render(os.Stdout)
+		if err == nil {
+			err = report.AggregateTable().Render(os.Stdout)
+		}
+	case "csv":
+		err = report.RenderCSV(os.Stdout)
+	case "json":
+		err = report.RenderJSON(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: rendering grid report: %v\n", err)
+		return 1
+	}
+	// Wall time goes to stderr so stdout stays deterministic across worker
+	// counts (and across runs).
+	fmt.Fprintf(os.Stderr, "lbbench: %d units (%d failed) in %v\n",
+		len(report.Cells), report.Failed(), report.Elapsed.Round(time.Millisecond))
+	// Any failed unit means the emitted figure has holes: scripts checking
+	// the exit status must not mistake a partial sweep for a complete one.
+	if report.Failed() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// parseSeeds parses the -seeds list.
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, v := range splitList(s) {
+		x, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", v, err)
+		}
+		out = append(out, x)
+	}
+	return out, nil
 }

@@ -4,10 +4,12 @@
 package repro
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/spectral"
@@ -189,3 +191,54 @@ func TestWorkloadsBalanceToSameAverage(t *testing.T) {
 }
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestBalanceGridEndToEnd(t *testing.T) {
+	// One grid invocation sweeps the whole (topology × algorithm × mode ×
+	// workload × seed) cross product through the batch engine — the
+	// end-to-end form of what the per-algorithm tests above check one
+	// configuration at a time. The aggregated output must not depend on the
+	// worker count.
+	spec := batch.Spec{
+		Topologies: []string{"cycle", "torus", "hypercube", "star"},
+		Algorithms: []string{"diffusion", "dimexchange", "randpair"},
+		Modes:      []string{"continuous", "discrete"},
+		Workloads:  []string{"spike", "uniform"},
+		Seeds:      []int64{1, 2},
+		N:          20,
+		Workers:    1,
+	}
+	rep, err := core.BalanceGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 3 * 2 * 2 * 2; len(rep.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(rep.Cells), want)
+	}
+	if rep.Failed() != 0 {
+		t.Fatalf("%d grid units failed", rep.Failed())
+	}
+	for _, c := range rep.Cells {
+		if !c.Converged {
+			t.Fatalf("%s did not converge", c.Key())
+		}
+		if c.Bound > 0 && float64(c.Rounds) > c.Bound {
+			t.Fatalf("%s: %d rounds exceeds %s bound %v", c.Key(), c.Rounds, c.BoundName, c.Bound)
+		}
+	}
+
+	spec.Workers = 8
+	rep8, err := core.BalanceGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b8 bytes.Buffer
+	if err := rep.RenderCSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep8.RenderCSV(&b8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Fatal("grid output differs between workers=1 and workers=8")
+	}
+}

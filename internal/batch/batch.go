@@ -1,0 +1,197 @@
+// Package batch is the parallel batch-experiment engine: it takes a
+// declarative grid specification (topologies × algorithms × modes ×
+// workloads × seeds), expands it into independent run units, fans the units
+// out over internal/parallel's worker pool with per-unit deterministic RNG
+// streams, and aggregates the outcomes into a single report with per-cell
+// convergence statistics (rounds vs. the theorem bound, final discrepancy,
+// wall time).
+//
+// The package is deliberately algorithm-agnostic: a RunFunc executes one
+// unit, so the engine never imports internal/core (which wires it up as
+// core.BalanceGrid) and any harness — the experiments suite, the CLIs, the
+// root benchmarks — can reuse the same expansion, pooling and aggregation
+// machinery with its own run body.
+package batch
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Spec declares a sweep grid. Every combination of one entry per dimension
+// becomes one run unit; the expansion is exhaustive and duplicate-free
+// (duplicate entries within a dimension are rejected).
+type Spec struct {
+	// Topologies are topoparse names ("cycle", "torus", "hypercube", …).
+	Topologies []string `json:"topologies"`
+	// N is the approximate node count per topology (default 64; families
+	// with rigid sizes round up exactly as topoparse does).
+	N int `json:"n"`
+	// Algorithms are core algorithm names ("diffusion", "dimexchange",
+	// "randpair", "firstorder", "secondorder", "roundrobin").
+	Algorithms []string `json:"algorithms"`
+	// Modes are load models: "continuous", "discrete".
+	Modes []string `json:"modes"`
+	// Workloads are workload kind names ("spike", "uniform", …).
+	Workloads []string `json:"workloads"`
+	// Seeds are the per-repetition seeds (default {1}). Each seed is one run
+	// unit per cell; the report aggregates across seeds.
+	Seeds []int64 `json:"seeds"`
+	// Scale is the total (spike) or per-node (i.i.d.) load magnitude
+	// (default 1e6).
+	Scale float64 `json:"scale"`
+	// Epsilon is the convergence target Φ ≤ ε·Φ⁰ (default 1e-3).
+	Epsilon float64 `json:"epsilon"`
+	// MaxRounds caps each run (0 lets the runner pick its theorem-derived
+	// default).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// Workers sets the pool width (≤ 0 selects GOMAXPROCS). It affects
+	// scheduling only: results are identical for any value.
+	Workers int `json:"-"`
+}
+
+// withDefaults fills the documented defaults without mutating the receiver.
+func (s Spec) withDefaults() Spec {
+	if s.N <= 0 {
+		s.N = 64
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if s.Scale <= 0 {
+		s.Scale = 1e6
+	}
+	if s.Epsilon <= 0 {
+		s.Epsilon = 1e-3
+	}
+	return s
+}
+
+// Unit is one expanded run: a single (topology, algorithm, mode, workload,
+// seed) combination at a fixed position in the grid.
+type Unit struct {
+	// Index is the unit's position in expansion order.
+	Index int `json:"index"`
+	// Topology, Algorithm and Mode are the normalized spec names.
+	Topology  string `json:"topology"`
+	Algorithm string `json:"algorithm"`
+	Mode      string `json:"mode"`
+	// Workload is the parsed initial-distribution kind.
+	Workload workload.Kind `json:"-"`
+	// WorkloadName is Workload.String(), kept for emitters.
+	WorkloadName string `json:"workload"`
+	// Seed is the unit's repetition seed from Spec.Seeds.
+	Seed int64 `json:"seed"`
+}
+
+// Key is the unit's stable identity string. RNG streams are derived from it
+// (not from Index), so a unit's result does not change when other
+// dimensions are added to the grid around it.
+func (u Unit) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%s/s%d", u.Topology, u.Algorithm, u.Mode, u.WorkloadName, u.Seed)
+}
+
+// CellKey is the unit's identity without the seed — the aggregation key.
+func (u Unit) CellKey() string {
+	return fmt.Sprintf("%s/%s/%s/%s", u.Topology, u.Algorithm, u.Mode, u.WorkloadName)
+}
+
+// seedBase hashes the unit key into the root of its private seed sequence.
+func (u Unit) seedBase() int64 {
+	h := fnv.New64a()
+	h.Write([]byte(u.Key()))
+	return int64(h.Sum64())
+}
+
+// Expand validates spec and produces the exhaustive, duplicate-free unit
+// list in deterministic nested order (topology, algorithm, mode, workload,
+// seed — the last dimension varying fastest).
+func Expand(spec Spec) ([]Unit, error) {
+	spec = spec.withDefaults()
+	topos, err := normalize("topology", spec.Topologies)
+	if err != nil {
+		return nil, err
+	}
+	algos, err := normalize("algorithm", spec.Algorithms)
+	if err != nil {
+		return nil, err
+	}
+	modes, err := normalize("mode", spec.Modes)
+	if err != nil {
+		return nil, err
+	}
+	wlNames, err := normalize("workload", spec.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	kinds := make([]workload.Kind, len(wlNames))
+	for i, name := range wlNames {
+		k, err := workload.ParseKind(name)
+		if err != nil {
+			return nil, fmt.Errorf("batch: %w", err)
+		}
+		kinds[i] = k
+	}
+	for _, m := range modes {
+		if m != "continuous" && m != "discrete" {
+			return nil, fmt.Errorf("batch: unknown mode %q (want continuous or discrete)", m)
+		}
+	}
+	seen := map[int64]bool{}
+	for _, s := range spec.Seeds {
+		if seen[s] {
+			return nil, fmt.Errorf("batch: duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+
+	units := make([]Unit, 0, len(topos)*len(algos)*len(modes)*len(kinds)*len(spec.Seeds))
+	for _, topo := range topos {
+		for _, alg := range algos {
+			for _, mode := range modes {
+				for wi, kind := range kinds {
+					for _, seed := range spec.Seeds {
+						units = append(units, Unit{
+							Index:        len(units),
+							Topology:     topo,
+							Algorithm:    alg,
+							Mode:         mode,
+							Workload:     kind,
+							WorkloadName: wlNames[wi],
+							Seed:         seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("batch: empty grid (every dimension needs at least one entry)")
+	}
+	return units, nil
+}
+
+// normalize lowercases and trims a dimension's entries and rejects empties
+// and duplicates, so the expansion is duplicate-free by construction.
+func normalize(dim string, in []string) ([]string, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("batch: spec has no %s entries", dim)
+	}
+	out := make([]string, 0, len(in))
+	seen := map[string]bool{}
+	for _, s := range in {
+		s = strings.ToLower(strings.TrimSpace(s))
+		if s == "" {
+			return nil, fmt.Errorf("batch: empty %s entry", dim)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("batch: duplicate %s entry %q", dim, s)
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out, nil
+}

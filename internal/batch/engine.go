@@ -1,0 +1,161 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/topoparse"
+	"repro/internal/workload"
+)
+
+// ForEach runs body(i, rng) for every i in [0, n) across at most workers
+// goroutines (GOMAXPROCS when ≤ 0), handing indices out dynamically so
+// wildly uneven unit costs cannot idle the pool. Each index gets its own
+// deterministic RNG stream derived from seed, so results are identical for
+// any worker count. A body that panics is captured as that index's error; a
+// context cancellation marks every not-yet-started index with ctx.Err().
+// Either way the remaining units keep the pool draining — one bad unit
+// never wedges the run. The returned slice has one entry per index (nil on
+// success).
+func ForEach(ctx context.Context, n, workers int, seed int64, body func(i int, rng *rand.Rand) error) []error {
+	return forEach(ctx, n, workers, func(i int) error {
+		return body(i, rand.New(rand.NewSource(parallel.DeriveSeed(seed, i))))
+	})
+}
+
+// forEach is ForEach without the per-index RNG, for callers (the grid
+// runner) that derive their own streams and should not pay for an unused
+// generator per unit.
+func forEach(ctx context.Context, n, workers int, body func(i int) error) []error {
+	errs := make([]error, n)
+	parallel.ForDynamic(n, workers, func(i int) {
+		if ctx != nil && ctx.Err() != nil {
+			errs[i] = ctx.Err()
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("batch: unit %d panicked: %v", i, r)
+			}
+		}()
+		errs[i] = body(i)
+	})
+	return errs
+}
+
+// Outcome is what a RunFunc reports for one completed unit.
+type Outcome struct {
+	// Rounds executed and whether the convergence target was reached.
+	Rounds    int  `json:"rounds"`
+	Converged bool `json:"converged"`
+	// PhiStart and PhiEnd bracket the potential trajectory.
+	PhiStart float64 `json:"phi_start"`
+	PhiEnd   float64 `json:"phi_end"`
+	// Bound is the paper's round bound for this configuration (0 when no
+	// theorem applies) and BoundName the theorem behind it.
+	Bound     float64 `json:"bound,omitempty"`
+	BoundName string  `json:"bound_name,omitempty"`
+}
+
+// RunFunc executes one run unit on graph g from the given initial loads.
+// algoSeed drives the unit's randomized algorithm components; it is derived
+// from the unit key, so implementations must use it (not global state) to
+// stay deterministic under parallel scheduling.
+type RunFunc func(u Unit, g *graph.G, loads []float64, algoSeed int64) (Outcome, error)
+
+// Run expands spec and executes every unit through run on the worker pool.
+// The only overall errors are spec-level (bad grid, unbuildable topology);
+// per-unit failures and panics land in the matching cell's Err field so the
+// rest of the sweep still completes.
+func Run(spec Spec, run RunFunc) (*Report, error) {
+	return RunContext(context.Background(), spec, run)
+}
+
+// RunContext is Run with cancellation: units not yet started when ctx fires
+// record ctx.Err() and the already-running ones finish normally.
+func RunContext(ctx context.Context, spec Spec, run RunFunc) (*Report, error) {
+	spec = spec.withDefaults()
+	units, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Topologies are built once, serially, so randomized families (rgg,
+	// smallworld, random-regular) are reproducible regardless of pool
+	// scheduling and every unit of a topology sees the same instance.
+	graphs := make(map[string]*graph.G)
+	for _, u := range units {
+		if _, ok := graphs[u.Topology]; ok {
+			continue
+		}
+		g, err := topoparse.Build(u.Topology, spec.N, topologySeed(u.Topology))
+		if err != nil {
+			return nil, fmt.Errorf("batch: %w", err)
+		}
+		graphs[u.Topology] = g
+	}
+
+	start := time.Now()
+	cells := make([]Cell, len(units))
+	errs := forEach(ctx, len(units), spec.Workers, func(i int) error {
+		u := units[i]
+		g := graphs[u.Topology]
+		// Both streams hang off the unit key, not the grid position, so a
+		// cell's numbers survive the grid growing around it.
+		base := u.seedBase()
+		loads := workload.Continuous(u.Workload, g.N(),
+			spec.Scale, rand.New(rand.NewSource(parallel.DeriveSeed(base, 0))))
+		algoSeed := parallel.DeriveSeed(base, 1)
+
+		unitStart := time.Now()
+		out, err := run(u, g, loads, algoSeed)
+		cells[i] = Cell{Unit: u, Outcome: out, Wall: time.Since(unitStart)}
+		if err != nil {
+			return err
+		}
+		cells[i].finish(g.N())
+		return nil
+	})
+	// Units that were cancelled or panicked never wrote their cell; stamp
+	// the identity and error in so the report stays self-describing.
+	for i, err := range errs {
+		if err != nil {
+			cells[i].Unit = units[i]
+			cells[i].Err = err.Error()
+		}
+	}
+
+	rep := &Report{
+		Spec:    spec,
+		Cells:   cells,
+		Elapsed: time.Since(start),
+	}
+	rep.aggregate()
+	return rep, nil
+}
+
+// topologySeed derives the deterministic construction seed for a randomized
+// topology family from the topology name alone — never from the sweep's
+// seed list — so the instance behind a unit Key is stable no matter how the
+// grid grows around it (the Key-as-cache-identity invariant).
+func topologySeed(name string) int64 {
+	h := int64(0)
+	for _, c := range name {
+		h = h*131 + int64(c)
+	}
+	return parallel.DeriveSeed(h, 0)
+}
+
+// boundRatio is rounds/bound, or 0 when no bound applies (kept NaN-free so
+// the report marshals to JSON).
+func boundRatio(rounds int, bound float64) float64 {
+	if bound <= 0 || math.IsNaN(bound) {
+		return 0
+	}
+	return float64(rounds) / bound
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/graph"
+)
+
+// BalanceGrid expands the declarative sweep spec into independent run units
+// and executes every (topology × algorithm × mode × workload × seed)
+// combination through Balance on the batch engine's worker pool. Per-unit
+// RNG streams are derived from each unit's identity, so the aggregated
+// report is identical for any Spec.Workers value — one invocation with
+// Workers = GOMAXPROCS reproduces a whole paper figure's grid at full
+// hardware speed.
+//
+// Algorithm/mode combinations Balance rejects (e.g. firstorder × discrete)
+// surface as per-cell errors in the report, not as an overall failure.
+func BalanceGrid(spec batch.Spec) (*batch.Report, error) {
+	return BalanceGridContext(context.Background(), spec)
+}
+
+// BalanceGridContext is BalanceGrid with cancellation: units not yet
+// started when ctx fires record the context error in their cells and the
+// report still returns.
+func BalanceGridContext(ctx context.Context, spec batch.Spec) (*batch.Report, error) {
+	// Validate the algorithm names up front: a typo should fail the sweep,
+	// not silently error every cell.
+	for _, name := range spec.Algorithms {
+		if _, err := ParseAlgorithm(name); err != nil {
+			return nil, err
+		}
+	}
+	return batch.RunContext(ctx, spec, func(u batch.Unit, g *graph.G, loads []float64, algoSeed int64) (batch.Outcome, error) {
+		alg, err := ParseAlgorithm(u.Algorithm)
+		if err != nil {
+			return batch.Outcome{}, err
+		}
+		mode := Continuous
+		if u.Mode == "discrete" {
+			mode = Discrete
+		}
+		res, err := Balance(Config{
+			Graph:     g,
+			Algorithm: alg,
+			Mode:      mode,
+			Loads:     loads,
+			Epsilon:   spec.Epsilon,
+			MaxRounds: spec.MaxRounds,
+			Seed:      nonZeroSeed(algoSeed),
+		})
+		if err != nil {
+			return batch.Outcome{}, fmt.Errorf("%s: %w", u.Key(), err)
+		}
+		return batch.Outcome{
+			Rounds:    res.Rounds,
+			Converged: res.Converged,
+			PhiStart:  res.PhiStart,
+			PhiEnd:    res.PhiEnd,
+			Bound:     res.Bound,
+			BoundName: res.BoundName,
+		}, nil
+	})
+}
+
+// nonZeroSeed keeps a derived seed out of Balance's "0 means default"
+// convention.
+func nonZeroSeed(s int64) int64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}

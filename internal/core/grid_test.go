@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/batch"
+)
+
+func gridSpec() batch.Spec {
+	return batch.Spec{
+		Topologies: []string{"cycle", "torus", "hypercube"},
+		Algorithms: []string{"diffusion", "dimexchange", "randpair"},
+		Modes:      []string{"continuous", "discrete"},
+		Workloads:  []string{"spike", "uniform"},
+		Seeds:      []int64{1, 2},
+		N:          24,
+	}
+}
+
+func TestBalanceGridConvergesEverywhere(t *testing.T) {
+	rep, err := BalanceGrid(gridSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() != 0 {
+		t.Fatalf("%d units failed", rep.Failed())
+	}
+	for _, c := range rep.Cells {
+		if !c.Converged {
+			t.Fatalf("%s did not converge (Φ %v → %v in %d rounds)", c.Key(), c.PhiStart, c.PhiEnd, c.Rounds)
+		}
+		if c.Bound > 0 && float64(c.Rounds) > c.Bound {
+			t.Fatalf("%s: %d rounds exceeds %s bound %v", c.Key(), c.Rounds, c.BoundName, c.Bound)
+		}
+		if c.RMSDiscrepancy < 0 {
+			t.Fatalf("%s: negative discrepancy", c.Key())
+		}
+	}
+	// Diffusion cells must carry their theorem bound.
+	for _, c := range rep.Cells {
+		if c.Algorithm == "diffusion" && c.WorkloadName == "spike" && c.BoundName == "" {
+			t.Fatalf("%s: missing theorem bound", c.Key())
+		}
+	}
+}
+
+func TestBalanceGridDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) []byte {
+		spec := gridSpec()
+		spec.Workers = workers
+		rep, err := BalanceGrid(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := rep.RenderCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.RenderJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	if !bytes.Equal(render(1), render(8)) {
+		t.Fatal("aggregated grid output differs between workers=1 and workers=8")
+	}
+}
+
+func TestBalanceGridRejectsUnknownAlgorithm(t *testing.T) {
+	spec := gridSpec()
+	spec.Algorithms = []string{"diffusion", "gradientdescent"}
+	if _, err := BalanceGrid(spec); err == nil {
+		t.Fatal("unknown algorithm must fail the sweep up front")
+	}
+}
+
+func TestBalanceGridUnsupportedComboIsCellError(t *testing.T) {
+	// firstorder is continuous-only: its discrete cells must error without
+	// sinking the rest of the sweep.
+	spec := batch.Spec{
+		Topologies: []string{"cycle"},
+		Algorithms: []string{"diffusion", "firstorder"},
+		Modes:      []string{"continuous", "discrete"},
+		Workloads:  []string{"spike"},
+		N:          16,
+	}
+	rep, err := BalanceGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bad, good int
+	for _, c := range rep.Cells {
+		switch {
+		case c.Algorithm == "firstorder" && c.Mode == "discrete":
+			bad++
+			if !strings.Contains(c.Err, "continuous mode only") {
+				t.Fatalf("expected mode error, got %q", c.Err)
+			}
+		default:
+			good++
+			if c.Err != "" || !c.Converged {
+				t.Fatalf("healthy cell %s affected: %+v", c.Key(), c)
+			}
+		}
+	}
+	if bad != 1 || good != 3 {
+		t.Fatalf("bad=%d good=%d, want 1/3", bad, good)
+	}
+}

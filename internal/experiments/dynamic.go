@@ -15,35 +15,44 @@ func init() {
 	register("E6", E6DynamicDiscrete)
 }
 
-// dynamicScenarios builds the graph-sequence sweep of §5: random subgraphs
+// dynScenario names one dynamic-network scenario of §5 and builds it on
+// demand: each sweep cell calls build() for its own private Sequence (they
+// hold mutable RNG state), so nothing is shared across pool goroutines and
+// only the scenarios actually run get constructed.
+type dynScenario struct {
+	name  string
+	build func() dynamic.Sequence
+}
+
+// dynamicScenarios lists the graph-sequence sweep of §5: random subgraphs
 // of a base topology at several survival probabilities, periodic edge
-// failures, and alternating topologies.
-func dynamicScenarios(seed int64, quick bool) []struct {
-	name string
-	seq  dynamic.Sequence
-} {
+// failures, and alternating topologies. The constructors are deterministic
+// given seed.
+func dynamicScenarios(seed int64, quick bool) []dynScenario {
 	side := 6
 	if quick {
 		side = 4
 	}
-	base := graph.Torus(side, side)
-	alt, err := dynamic.NewAlternating(
-		graph.Torus(side, side),
-		graph.Cycle(base.N()),
-	)
-	if err != nil {
-		panic(err)
-	}
 	mk := func(i int) *rand.Rand { return rand.New(rand.NewSource(seed + int64(i))) }
-	out := []struct {
-		name string
-		seq  dynamic.Sequence
-	}{
-		{"static torus", dynamic.Static{G: base}},
-		{"subgraph p=0.9", &dynamic.RandomSubgraphs{Base: base, KeepProb: 0.9, RNG: mk(1)}},
-		{"subgraph p=0.6", &dynamic.RandomSubgraphs{Base: base, KeepProb: 0.6, RNG: mk(2)}},
-		{"fail 8 edges", &dynamic.EdgeFailures{Base: base, FailCount: 8, RNG: mk(3)}},
-		{"torus/cycle alt", alt},
+	out := []dynScenario{
+		{"static torus", func() dynamic.Sequence { return dynamic.Static{G: graph.Torus(side, side)} }},
+		{"subgraph p=0.9", func() dynamic.Sequence {
+			return &dynamic.RandomSubgraphs{Base: graph.Torus(side, side), KeepProb: 0.9, RNG: mk(1)}
+		}},
+		{"subgraph p=0.6", func() dynamic.Sequence {
+			return &dynamic.RandomSubgraphs{Base: graph.Torus(side, side), KeepProb: 0.6, RNG: mk(2)}
+		}},
+		{"fail 8 edges", func() dynamic.Sequence {
+			return &dynamic.EdgeFailures{Base: graph.Torus(side, side), FailCount: 8, RNG: mk(3)}
+		}},
+		{"torus/cycle alt", func() dynamic.Sequence {
+			base := graph.Torus(side, side)
+			alt, err := dynamic.NewAlternating(graph.Torus(side, side), graph.Cycle(base.N()))
+			if err != nil {
+				panic(err)
+			}
+			return alt
+		}},
 	}
 	if quick {
 		out = out[:3]
@@ -63,19 +72,24 @@ func E5DynamicContinuous(o Options) *trace.Table {
 	if o.Quick {
 		maxRounds = 5000
 	}
-	for _, sc := range dynamicScenarios(o.seed(), o.Quick) {
-		n := sc.seq.N()
+	scenarios := dynamicScenarios(o.seed(), o.Quick)
+	rows := make([]row, len(scenarios))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		sc := scenarios[i]
+		seq := sc.build()
+		n := seq.N()
 		init := workload.Continuous(workload.Spike, n, 1e9, nil)
 		phi0 := potentialOf(init)
-		res := dynamic.RunContinuous(sc.seq, init, eps*phi0, maxRounds, true)
+		res := dynamic.RunContinuous(seq, init, eps*phi0, maxRounds, true)
 		bound := math.NaN()
 		ratio := math.NaN()
 		if res.AK > 0 {
 			bound = 4 * math.Log(1/eps) / res.AK
 			ratio = float64(res.Rounds()) / bound
 		}
-		t.AddRowf(sc.name, eps, res.Rounds(), res.AK, bound, ratio)
-	}
+		rows[i] = row{sc.name, eps, res.Rounds(), res.AK, bound, ratio}
+	})
+	emit(t, rows)
 	t.Note("Theorem 7 holds when K/bound ≤ 1; disconnected rounds lower A_K and are charged to the bound automatically.")
 	return t
 }
@@ -89,27 +103,34 @@ func E6DynamicDiscrete(o Options) *trace.Table {
 	if o.Quick {
 		maxRounds = 5000
 	}
-	for _, sc := range dynamicScenarios(o.seed()+100, o.Quick) {
-		n := sc.seq.N()
+	scenarios := dynamicScenarios(o.seed()+100, o.Quick)
+	rows := make([]row, len(scenarios))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		sc := scenarios[i]
+		seq := sc.build()
+		n := seq.N()
 		init := workload.Discrete(workload.Spike, n, 1_000_000_000, nil)
 		// Pilot run records spectra so Φ* can be formed, then the main run
-		// stops at Φ*. The per-round λ₂/δ distribution is stationary, so a
+		// stops at Φ*. The pilot consumes the first build; the main run gets
+		// an identically-seeded fresh build, so both see the same sequence
+		// realization. The per-round λ₂/δ distribution is stationary, so a
 		// few hundred pilot rounds pin down the max(δ³/λ₂) term.
 		pilotRounds := 500
 		if maxRounds < pilotRounds {
 			pilotRounds = maxRounds
 		}
-		pilot := dynamic.RunDiscrete(sc.seq, init, 0, pilotRounds, true)
+		pilot := dynamic.RunDiscrete(seq, init, 0, pilotRounds, true)
 		phiStar := dynamic.Theorem8Threshold(n, pilot.Stats)
-		res := dynamic.RunDiscrete(sc.seq, init, phiStar, maxRounds, true)
+		res := dynamic.RunDiscrete(sc.build(), init, phiStar, maxRounds, true)
 		bound := math.NaN()
 		ratio := math.NaN()
 		if res.AK > 0 && res.PhiStart > phiStar {
 			bound = 8 * math.Log(res.PhiStart/phiStar) / res.AK
 			ratio = float64(res.Rounds()) / bound
 		}
-		t.AddRowf(sc.name, res.PhiStart, phiStar, res.Rounds(), res.AK, bound, ratio)
-	}
+		rows[i] = row{sc.name, res.PhiStart, phiStar, res.Rounds(), res.AK, bound, ratio}
+	})
+	emit(t, rows)
 	t.Note("Theorem 8 holds when K/bound ≤ 1. Φ* uses the per-round spectra of a pilot run over the same sequence.")
 	return t
 }

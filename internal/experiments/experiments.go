@@ -11,9 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 
+	"repro/internal/batch"
 	"repro/internal/trace"
 )
 
@@ -24,6 +27,11 @@ type Options struct {
 	// Quick shrinks parameter sweeps (fewer sizes, fewer repetitions) so a
 	// run finishes in benchmark-friendly time.
 	Quick bool
+	// Workers is the batch-engine pool width used to fan an experiment's
+	// parameter sweep out across goroutines (≤ 0 selects GOMAXPROCS).
+	// Results are identical for any value: every sweep cell draws from its
+	// own RNG stream derived from Seed and the cell index.
+	Workers int
 }
 
 func (o Options) seed() int64 {
@@ -31,6 +39,37 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+// sweep fans body(i, rng) over every cell index in [0, n) through the batch
+// engine's worker pool. Each cell gets an independent deterministic RNG
+// stream, so tables no longer depend on a shared generator's visit order —
+// or on Workers. Callers collect per-cell row values inside body and emit
+// them in index order afterwards; a cell panic is re-raised here once the
+// rest of the sweep has drained.
+func (o Options) sweep(n int, body func(i int, rng *rand.Rand)) {
+	errs := batch.ForEach(context.Background(), n, o.Workers, o.seed(), func(i int, rng *rand.Rand) error {
+		body(i, rng)
+		return nil
+	})
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+}
+
+// row holds one table row's values until the sweep finishes; nil rows
+// (cells that declined to report) are skipped by emit.
+type row []interface{}
+
+// emit appends the collected rows to t in deterministic cell order.
+func emit(t *trace.Table, rows []row) {
+	for _, r := range rows {
+		if r != nil {
+			t.AddRowf(r...)
+		}
+	}
 }
 
 // Runner is the signature shared by all experiments.

@@ -33,11 +33,14 @@ func E15FlowOptimality(o Options) *trace.Table {
 	if o.Quick {
 		horizon = 5000
 	}
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		g := suite[i]
 		l := matrix.Vector(workload.Continuous(workload.Spike, g.N(), 1e6, nil))
 		opt, err := flow.Optimal(g, l)
 		if err != nil {
-			continue
+			return
 		}
 		acc := flow.NewAccumulator(g)
 		cur := l.Clone()
@@ -54,11 +57,12 @@ func E15FlowOptimality(o Options) *trace.Table {
 		}
 		diff, err := acc.Flow.Sub(opt)
 		if err != nil {
-			continue
+			return
 		}
 		rel := diff.L2() / (1 + opt.L2())
-		t.AddRowf(g.Name(), acc.Flow.L2(), opt.L2(), rel, acc.Flow.MaxEdge(), opt.MaxEdge())
-	}
+		rows[i] = row{g.Name(), acc.Flow.L2(), opt.L2(), rel, acc.Flow.MaxEdge(), opt.MaxEdge()}
+	})
+	emit(t, rows)
 	t.Note("rel. deviation ≈ 0 on every row confirms Algorithm 1 realizes the optimal flow in the limit — an end-to-end check of stepper + Laplacian solver together.")
 	return t
 }
@@ -72,26 +76,38 @@ func E16CommunicationCost(o Options) *trace.Table {
 	t := trace.NewTable("E16 — communication cost to reach 1e-4·Φ⁰ (spike start)",
 		"graph", "scheme", "rounds", "edge activations", "total load moved", "moved/optimal-L1")
 	const eps = 1e-4
-	rng := rand.New(rand.NewSource(o.seed()))
 	horizon := 200000
 	if o.Quick {
 		horizon = 20000
 	}
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	// The optimal-flow L1 depends only on the topology (same spike start for
+	// every scheme): one Laplacian solve per graph, in parallel, up front.
+	optL1s := make([]float64, len(suite))
+	o.sweep(len(suite), func(i int, _ *rand.Rand) {
+		optL1s[i] = math.NaN()
+		l := matrix.Vector(workload.Continuous(workload.Spike, suite[i].N(), 1e6, nil))
+		if opt, err := flow.Optimal(suite[i], l); err == nil {
+			optL1s[i] = opt.L1()
+		}
+	})
+	// Three schemes per topology: each is its own sweep cell so the pool
+	// balances across the full scheme × topology grid.
+	schemes := []string{"diffusion", "dimexchange", "randpair"}
+	rows := make([]row, len(suite)*len(schemes))
+	o.sweep(len(rows), func(ci int, rng *rand.Rand) {
+		g, scheme := suite[ci/len(schemes)], schemes[ci%len(schemes)]
 		l := matrix.Vector(workload.Continuous(workload.Spike, g.N(), 1e6, nil))
 		phi0 := potentialOf(l)
 		target := eps * phi0
-		optL1 := math.NaN()
-		if opt, err := flow.Optimal(g, l); err == nil {
-			optL1 = opt.L1()
-		}
+		optL1 := optL1s[ci/len(schemes)]
 
-		// Algorithm 1.
-		{
+		var moved float64
+		activations := 0
+		rounds := 0
+		switch scheme {
+		case "diffusion":
 			cur := l.Clone()
-			var moved float64
-			activations := 0
-			rounds := 0
 			for rounds = 0; rounds < horizon && potentialOf(cur) > target; rounds++ {
 				for _, fl := range diffusion.RoundFlowsContinuous(g, cur) {
 					moved += math.Abs(fl.Amount)
@@ -100,15 +116,8 @@ func E16CommunicationCost(o Options) *trace.Table {
 					cur[fl.Edge.V] += fl.Amount
 				}
 			}
-			t.AddRowf(g.Name(), "diffusion", rounds, activations, moved, moved/optL1)
-		}
-
-		// Dimension exchange.
-		{
-			st := dimexchange.NewContinuous(g, l, rand.New(rand.NewSource(rng.Int63())))
-			var moved float64
-			activations := 0
-			rounds := 0
+		case "dimexchange":
+			st := dimexchange.NewContinuous(g, l, rng)
 			for rounds = 0; rounds < horizon && st.Potential() > target; rounds++ {
 				before := st.Load.Vector().Clone()
 				st.Step()
@@ -120,16 +129,9 @@ func E16CommunicationCost(o Options) *trace.Table {
 					}
 				}
 			}
-			t.AddRowf(g.Name(), "dimexchange", rounds, activations, moved, moved/optL1)
-		}
-
-		// Random partners (not edge-constrained: moved/optimal is reported
-		// for scale only).
-		{
-			st := randpair.NewContinuous(l, rand.New(rand.NewSource(rng.Int63())))
-			var moved float64
-			activations := 0
-			rounds := 0
+		case "randpair":
+			// Not edge-constrained: moved/optimal is reported for scale only.
+			st := randpair.NewContinuous(l, rng)
 			for rounds = 0; rounds < horizon && st.Potential() > target; rounds++ {
 				before := st.Load.Vector().Clone()
 				st.Step()
@@ -140,9 +142,10 @@ func E16CommunicationCost(o Options) *trace.Table {
 				moved += roundMoved / 2 // each unit leaves one node and arrives at another
 				activations += len(st.LastLinks)
 			}
-			t.AddRowf(g.Name(), "randpair", rounds, activations, moved, moved/optL1)
 		}
-	}
+		rows[ci] = row{g.Name(), scheme, rounds, activations, moved, moved / optL1}
+	})
+	emit(t, rows)
 	t.Note("moved/optimal-L1 near 1 means the scheme wastes no transport; > 1 measures load sent back and forth. Random partners moves load off-topology, so its ratio is for scale only.")
 	return t
 }
@@ -158,19 +161,23 @@ func A4OPSComparison(o Options) *trace.Table {
 	if o.Quick {
 		horizon = 100000
 	}
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		g := suite[i]
 		init := workload.Continuous(workload.Spike, g.N(), 1e6, nil)
 		ops, err := diffusion.NewOPS(g, init)
 		if err != nil {
-			continue
+			return
 		}
 		for !ops.Done() {
 			ops.Step()
 		}
 		a1 := sim.RoundsToFraction(diffusion.NewContinuous(g, init), eps, horizon)
 		fo := sim.RoundsToFraction(diffusion.NewFirstOrder(g, init), eps, horizon)
-		t.AddRowf(g.Name(), ops.Rounds(), ops.Potential(), a1, fo)
-	}
+		rows[i] = row{g.Name(), ops.Rounds(), ops.Potential(), a1, fo}
+	})
+	emit(t, rows)
 	t.Note("OPS is exact after m = #distinct nonzero Laplacian eigenvalues rounds in exact arithmetic; factors are applied in Leja-stabilized order, but for large m with extreme λ_max/λ₂ (the path) a small relative residual (~1e-6·Φ⁰) survives in floating point — the known reason [7] recommend OPS only for modest m. The local schemes need no spectral knowledge at all.")
 	return t
 }
@@ -182,20 +189,23 @@ func A5SyncVsAsync(o Options) *trace.Table {
 	t := trace.NewTable("A5 — ablation: synchronous Algorithm 1 vs asynchronous pairwise balancing (equal activation budgets)",
 		"graph", "sync rounds", "async uniform (round-equivs)", "async roundrobin", "async/sync")
 	const eps = 1e-4
-	rng := rand.New(rand.NewSource(o.seed()))
 	horizon := 200000
 	if o.Quick {
 		horizon = 20000
 	}
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		g := suite[i]
 		init := workload.Continuous(workload.Spike, g.N(), 1e6, nil)
 		sync := sim.RoundsToFraction(diffusion.NewContinuous(g, init), eps, horizon)
 		asyncU := sim.RoundsToFraction(
 			async.NewContinuous(g, init, async.UniformRandom, rand.New(rand.NewSource(rng.Int63()))), eps, horizon)
 		asyncR := sim.RoundsToFraction(
 			async.NewContinuous(g, init, async.RoundRobin, nil), eps, horizon)
-		t.AddRowf(g.Name(), sync, asyncU, asyncR, float64(asyncU)/float64(sync))
-	}
+		rows[i] = row{g.Name(), sync, asyncU, asyncR, float64(asyncU) / float64(sync)}
+	})
+	emit(t, rows)
 	t.Note("async balances each activated pair exactly (vs Algorithm 1's conservative 1/4 factor), so at equal budgets it is usually ahead — the cost is losing the synchronous-round structure the paper's bounds are stated in.")
 	return t
 }

@@ -49,44 +49,45 @@ func fixedSuite(quick bool) []*graph.G {
 func E1SequentialDrop(o Options) *trace.Table {
 	t := trace.NewTable("E1 — Lemma 1: per-activation potential drop (sequentialized round)",
 		"graph", "workload", "activations", "violations", "min drop/bound")
-	rng := rand.New(rand.NewSource(o.seed()))
 	kinds := []workload.Kind{workload.Spike, workload.Uniform, workload.Exponential}
 	rounds := 20
 	if o.Quick {
 		rounds = 3
 	}
-	for _, g := range fixedSuite(o.Quick) {
-		for _, k := range kinds {
-			l := matrix.Vector(workload.Continuous(k, g.N(), 1e6, rng))
-			totalActs, violations := 0, 0
-			minRatio := math.Inf(1)
-			for r := 0; r < rounds; r++ {
-				rt := sequential.Sequentialize(g, l, sequential.IncreasingWeight, rng)
-				for _, a := range rt.Activations {
-					if a.Weight == 0 {
-						continue
-					}
-					totalActs++
-					if !a.Lemma1Holds() {
-						violations++
-					}
-					if a.Lemma1RHS > 0 {
-						if ratio := a.Drop / a.Lemma1RHS; ratio < minRatio {
-							minRatio = ratio
-						}
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite)*len(kinds))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		g, k := suite[i/len(kinds)], kinds[i%len(kinds)]
+		l := matrix.Vector(workload.Continuous(k, g.N(), 1e6, rng))
+		totalActs, violations := 0, 0
+		minRatio := math.Inf(1)
+		for r := 0; r < rounds; r++ {
+			rt := sequential.Sequentialize(g, l, sequential.IncreasingWeight, rng)
+			for _, a := range rt.Activations {
+				if a.Weight == 0 {
+					continue
+				}
+				totalActs++
+				if !a.Lemma1Holds() {
+					violations++
+				}
+				if a.Lemma1RHS > 0 {
+					if ratio := a.Drop / a.Lemma1RHS; ratio < minRatio {
+						minRatio = ratio
 					}
 				}
-				// Advance the real system to the next round's start vector.
-				st := diffusion.NewContinuous(g, l)
-				st.Step()
-				l = st.Load.Vector().Clone()
 			}
-			if math.IsInf(minRatio, 1) {
-				minRatio = math.NaN()
-			}
-			t.AddRowf(g.Name(), k.String(), totalActs, violations, minRatio)
+			// Advance the real system to the next round's start vector.
+			st := diffusion.NewContinuous(g, l)
+			st.Step()
+			l = st.Load.Vector().Clone()
 		}
-	}
+		if math.IsInf(minRatio, 1) {
+			minRatio = math.NaN()
+		}
+		rows[i] = row{g.Name(), k.String(), totalActs, violations, minRatio}
+	})
+	emit(t, rows)
 	t.Note("Lemma 1 predicts violations = 0 and min drop/bound ≥ 1 in increasing-weight order.")
 	return t
 }
@@ -98,16 +99,19 @@ func E1SequentialDrop(o Options) *trace.Table {
 func E2ConcurrencyGap(o Options) *trace.Table {
 	t := trace.NewTable("E2 — concurrency gap: concurrent vs sequentialized vs greedy round drops",
 		"graph", "Φ start", "concurrent drop", "greedy drop", "drop/Σw·diff", "greedy/concurrent")
-	rng := rand.New(rand.NewSource(o.seed()))
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		g := suite[i]
 		l := matrix.Vector(workload.Continuous(workload.Uniform, g.N(), 1e3, rng))
 		rep := sequential.MeasureGap(g, l, rng)
 		greedyRatio := math.NaN()
 		if rep.ConcurrentDrop > 0 {
 			greedyRatio = rep.GreedyDrop / rep.ConcurrentDrop
 		}
-		t.AddRowf(g.Name(), rep.PhiStart, rep.ConcurrentDrop, rep.GreedyDrop, rep.ConcurrentRatio, greedyRatio)
-	}
+		rows[i] = row{g.Name(), rep.PhiStart, rep.ConcurrentDrop, rep.GreedyDrop, rep.ConcurrentRatio, greedyRatio}
+	})
+	emit(t, rows)
 	t.Note("drop/Σw·diff ≥ 1 is the Lemma 1 aggregate; greedy/concurrent quantifies what sequential recomputation would buy.")
 	return t
 }
@@ -122,16 +126,22 @@ func E3ContinuousConvergence(o Options) *trace.Table {
 	if o.Quick {
 		epsilons = []float64{1e-3}
 	}
-	for _, g := range fixedSuite(o.Quick) {
-		lambda2 := spectral.MustLambda2(g)
-		for _, eps := range epsilons {
-			init := workload.Continuous(workload.Spike, g.N(), 1e9, nil)
-			st := diffusion.NewContinuous(g, init)
-			bound := diffusion.ContinuousBound(g, lambda2, eps)
-			rounds := sim.RoundsToFraction(st, eps, int(bound)+1)
-			t.AddRowf(g.Name(), lambda2, g.MaxDegree(), eps, rounds, bound, float64(rounds)/bound)
-		}
-	}
+	suite := fixedSuite(o.Quick)
+	// λ₂ is a full eigen-decomposition: compute it once per graph (in
+	// parallel), not once per (graph, ε) cell.
+	lambdas := make([]float64, len(suite))
+	o.sweep(len(suite), func(i int, _ *rand.Rand) { lambdas[i] = spectral.MustLambda2(suite[i]) })
+	rows := make([]row, len(suite)*len(epsilons))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		g, eps := suite[i/len(epsilons)], epsilons[i%len(epsilons)]
+		lambda2 := lambdas[i/len(epsilons)]
+		init := workload.Continuous(workload.Spike, g.N(), 1e9, nil)
+		st := diffusion.NewContinuous(g, init)
+		bound := diffusion.ContinuousBound(g, lambda2, eps)
+		rounds := sim.RoundsToFraction(st, eps, int(bound)+1)
+		rows[i] = row{g.Name(), lambda2, g.MaxDegree(), eps, rounds, bound, float64(rounds) / bound}
+	})
+	emit(t, rows)
 	t.Note("Theorem 4 holds when rounds/bound ≤ 1 on every row.")
 	return t
 }
@@ -142,7 +152,10 @@ func E3ContinuousConvergence(o Options) *trace.Table {
 func E4DiscreteConvergence(o Options) *trace.Table {
 	t := trace.NewTable("E4 — Theorem 6: discrete diffusion reaches the residual threshold",
 		"graph", "Φ⁰", "threshold", "rounds", "bound", "rounds/bound", "Φ end/threshold")
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		g := suite[i]
 		lambda2 := spectral.MustLambda2(g)
 		init := workload.Discrete(workload.Spike, g.N(), 1_000_000_000, nil)
 		st := diffusion.NewDiscrete(g, init)
@@ -155,8 +168,9 @@ func E4DiscreteConvergence(o Options) *trace.Table {
 		if bound > 0 {
 			ratio = float64(res.Rounds) / bound
 		}
-		t.AddRowf(g.Name(), phi0, thr, res.Rounds, bound, ratio, res.PhiEnd()/thr)
-	}
+		rows[i] = row{g.Name(), phi0, thr, res.Rounds, bound, ratio, res.PhiEnd() / thr}
+	})
+	emit(t, rows)
 	t.Note("Theorem 6 holds when rounds/bound ≤ 1 and Φ end/threshold ≤ 1.")
 	return t
 }
@@ -190,34 +204,36 @@ func A1DiffusionFactor(o Options) *trace.Table {
 		}},
 	}
 	const eps = 1e-4
-	for _, g := range fixedSuite(o.Quick) {
-		for _, f := range factors {
-			m := spectral.WeightedDiffusionMatrix(g, func(i, j int) float64 { return f.alpha(g, i, j) })
-			init := workload.Continuous(workload.Spike, g.N(), 1e6, nil)
-			st := diffusion.NewMatrixStepper(m, init)
-			phi0 := st.Potential()
-			maxRounds := 200000
-			if o.Quick {
-				maxRounds = 20000
-			}
-			rose := false
-			prev := phi0
-			rounds := maxRounds + 1
-			for r := 1; r <= maxRounds; r++ {
-				st.Step()
-				phi := st.Potential()
-				if phi > prev*(1+1e-12) {
-					rose = true
-				}
-				prev = phi
-				if phi <= eps*phi0 {
-					rounds = r
-					break
-				}
-			}
-			t.AddRowf(g.Name(), f.name, rounds, rose)
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite)*len(factors))
+	o.sweep(len(rows), func(ci int, _ *rand.Rand) {
+		g, f := suite[ci/len(factors)], factors[ci%len(factors)]
+		m := spectral.WeightedDiffusionMatrix(g, func(i, j int) float64 { return f.alpha(g, i, j) })
+		init := workload.Continuous(workload.Spike, g.N(), 1e6, nil)
+		st := diffusion.NewMatrixStepper(m, init)
+		phi0 := st.Potential()
+		maxRounds := 200000
+		if o.Quick {
+			maxRounds = 20000
 		}
-	}
+		rose := false
+		prev := phi0
+		rounds := maxRounds + 1
+		for r := 1; r <= maxRounds; r++ {
+			st.Step()
+			phi := st.Potential()
+			if phi > prev*(1+1e-12) {
+				rose = true
+			}
+			prev = phi
+			if phi <= eps*phi0 {
+				rounds = r
+				break
+			}
+		}
+		rows[ci] = row{g.Name(), f.name, rounds, rose}
+	})
+	emit(t, rows)
 	t.Note("rounds = maxRounds+1 means the target was not reached (e.g. α too aggressive oscillates on bipartite-ish graphs).")
 	return t
 }
@@ -228,34 +244,36 @@ func A1DiffusionFactor(o Options) *trace.Table {
 func A2ActivationOrder(o Options) *trace.Table {
 	t := trace.NewTable("A2 — ablation: sequentialization activation order vs Lemma 1",
 		"graph", "order", "activations", "violations", "violation %")
-	rng := rand.New(rand.NewSource(o.seed()))
 	trials := 50
 	if o.Quick {
 		trials = 5
 	}
-	for _, g := range fixedSuite(o.Quick) {
-		for _, ord := range []sequential.Order{sequential.IncreasingWeight, sequential.DecreasingWeight, sequential.RandomOrder} {
-			acts, viols := 0, 0
-			for k := 0; k < trials; k++ {
-				l := matrix.Vector(workload.Continuous(workload.Uniform, g.N(), 1e4, rng))
-				rt := sequential.Sequentialize(g, l, ord, rng)
-				for _, a := range rt.Activations {
-					if a.Weight == 0 {
-						continue
-					}
-					acts++
-					if !a.Lemma1Holds() {
-						viols++
-					}
+	orders := []sequential.Order{sequential.IncreasingWeight, sequential.DecreasingWeight, sequential.RandomOrder}
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite)*len(orders))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		g, ord := suite[i/len(orders)], orders[i%len(orders)]
+		acts, viols := 0, 0
+		for k := 0; k < trials; k++ {
+			l := matrix.Vector(workload.Continuous(workload.Uniform, g.N(), 1e4, rng))
+			rt := sequential.Sequentialize(g, l, ord, rng)
+			for _, a := range rt.Activations {
+				if a.Weight == 0 {
+					continue
+				}
+				acts++
+				if !a.Lemma1Holds() {
+					viols++
 				}
 			}
-			pct := 0.0
-			if acts > 0 {
-				pct = 100 * float64(viols) / float64(acts)
-			}
-			t.AddRowf(g.Name(), ord.String(), acts, viols, pct)
 		}
-	}
+		pct := 0.0
+		if acts > 0 {
+			pct = 100 * float64(viols) / float64(acts)
+		}
+		rows[i] = row{g.Name(), ord.String(), acts, viols, pct}
+	})
+	emit(t, rows)
 	t.Note("increasing order must show 0 violations; the other orders demonstrate why the proof sorts by weight.")
 	return t
 }
@@ -266,67 +284,72 @@ func A2ActivationOrder(o Options) *trace.Table {
 func A3Rounding(o Options) *trace.Table {
 	t := trace.NewTable("A3 — ablation: discrete rounding rule",
 		"graph", "rounding", "Φ residual", "threshold", "residual/threshold")
-	rng := rand.New(rand.NewSource(o.seed()))
 	horizon := 20000
 	if o.Quick {
 		horizon = 2000
 	}
-	for _, g := range fixedSuite(o.Quick) {
-		lambda2 := spectral.MustLambda2(g)
-		thr := diffusion.DiscreteThreshold(g, lambda2)
-		for _, mode := range []string{"floor", "randomized"} {
-			tokens := workload.Discrete(workload.Spike, g.N(), 100_000_000, nil)
-			cur := append([]int64(nil), tokens...)
-			next := make([]int64, len(cur))
-			for r := 0; r < horizon; r++ {
-				copy(next, cur)
-				moved := false
-				for _, e := range g.Edges() {
-					li, lj := cur[e.U], cur[e.V]
-					if li == lj {
-						continue
-					}
-					w := diffusion.EdgeWeight(g, e.U, e.V, float64(li), float64(lj))
-					var amt int64
-					switch mode {
-					case "floor":
-						amt = int64(w)
-					case "randomized":
-						amt = int64(w)
-						if rng.Float64() < w-math.Floor(w) {
-							amt++
-						}
-					}
-					if amt == 0 {
-						continue
-					}
-					moved = true
-					if li > lj {
-						next[e.U] -= amt
-						next[e.V] += amt
-					} else {
-						next[e.U] += amt
-						next[e.V] -= amt
+	modes := []string{"floor", "randomized"}
+	suite := fixedSuite(o.Quick)
+	thresholds := make([]float64, len(suite))
+	o.sweep(len(suite), func(i int, _ *rand.Rand) {
+		thresholds[i] = diffusion.DiscreteThreshold(suite[i], spectral.MustLambda2(suite[i]))
+	})
+	rows := make([]row, len(suite)*len(modes))
+	o.sweep(len(rows), func(ci int, rng *rand.Rand) {
+		g, mode := suite[ci/len(modes)], modes[ci%len(modes)]
+		thr := thresholds[ci/len(modes)]
+		tokens := workload.Discrete(workload.Spike, g.N(), 100_000_000, nil)
+		cur := append([]int64(nil), tokens...)
+		next := make([]int64, len(cur))
+		for r := 0; r < horizon; r++ {
+			copy(next, cur)
+			moved := false
+			for _, e := range g.Edges() {
+				li, lj := cur[e.U], cur[e.V]
+				if li == lj {
+					continue
+				}
+				w := diffusion.EdgeWeight(g, e.U, e.V, float64(li), float64(lj))
+				var amt int64
+				switch mode {
+				case "floor":
+					amt = int64(w)
+				case "randomized":
+					amt = int64(w)
+					if rng.Float64() < w-math.Floor(w) {
+						amt++
 					}
 				}
-				cur, next = next, cur
-				if !moved && mode == "floor" {
-					break // floor rule reached its fixed point
+				if amt == 0 {
+					continue
+				}
+				moved = true
+				if li > lj {
+					next[e.U] -= amt
+					next[e.V] += amt
+				} else {
+					next[e.U] += amt
+					next[e.V] -= amt
 				}
 			}
-			var mean float64
-			for _, v := range cur {
-				mean += float64(v)
+			cur, next = next, cur
+			if !moved && mode == "floor" {
+				break // floor rule reached its fixed point
 			}
-			mean /= float64(len(cur))
-			var phi float64
-			for _, v := range cur {
-				d := float64(v) - mean
-				phi += d * d
-			}
-			t.AddRowf(g.Name(), mode, phi, thr, phi/thr)
 		}
-	}
+		var mean float64
+		for _, v := range cur {
+			mean += float64(v)
+		}
+		mean /= float64(len(cur))
+		var phi float64
+		for _, v := range cur {
+			d := float64(v) - mean
+			phi += d * d
+		}
+		rows[ci] = row{g.Name(), mode, phi, thr, phi / thr}
+	})
+	emit(t, rows)
 	t.Note("both rules must end at or below the Theorem 6 threshold; randomized rounding typically lands lower but never terminates exactly.")
 	return t
 }

@@ -28,17 +28,19 @@ func init() {
 func E7PartnerDegree(o Options) *trace.Table {
 	t := trace.NewTable("E7 — Lemma 9: Pr[max(dᵢ,dⱼ) ≤ 5 | (i,j) ∈ E]",
 		"n", "rounds sampled", "Pr[≤5 | link]", "paper bound", "max degree seen")
-	rng := rand.New(rand.NewSource(o.seed()))
 	sizes := []int{16, 64, 256, 1024, 4096}
 	rounds := 400
 	if o.Quick {
 		sizes = []int{64, 256}
 		rounds = 50
 	}
-	for _, n := range sizes {
+	rows := make([]row, len(sizes))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		n := sizes[i]
 		p, maxDeg := randpair.PartnerDegreeProbe(n, rounds, rng)
-		t.AddRowf(n, rounds, p, 0.5, maxDeg)
-	}
+		rows[i] = row{n, rounds, p, 0.5, maxDeg}
+	})
+	emit(t, rows)
 	t.Note("Lemma 9 holds when every probability exceeds 0.5 (measured values are typically ≈0.97).")
 	return t
 }
@@ -49,41 +51,41 @@ func E7PartnerDegree(o Options) *trace.Table {
 func E8PotentialIdentity(o Options) *trace.Table {
 	t := trace.NewTable("E8 — Lemma 10: ΣᵢΣⱼ(ℓᵢ−ℓⱼ)² = 2n·Φ(L)",
 		"n", "workload", "max |lhs−rhs|/rhs")
-	rng := rand.New(rand.NewSource(o.seed()))
 	sizes := []int{8, 64, 512}
 	if o.Quick {
 		sizes = []int{8, 64}
 	}
 	kinds := []workload.Kind{workload.Spike, workload.Uniform, workload.PowerLaw}
-	for _, n := range sizes {
-		for _, k := range kinds {
-			var worst float64
-			for rep := 0; rep < 20; rep++ {
-				x := matrix.Vector(workload.Continuous(k, n, 1e4, rng))
-				lhs := load.PairwiseSquaredSum(x)
-				var direct float64
-				for i := 0; i < n; i++ {
-					for j := 0; j < n; j++ {
-						d := x[i] - x[j]
-						direct += d * d
-					}
-				}
-				rhs := 2 * float64(n) * load.PotentialAround(x, x.Mean())
-				if rhs == 0 {
-					continue
-				}
-				relA := math.Abs(lhs-rhs) / rhs
-				relB := math.Abs(direct-rhs) / rhs
-				if relA > worst {
-					worst = relA
-				}
-				if relB > worst {
-					worst = relB
+	rows := make([]row, len(sizes)*len(kinds))
+	o.sweep(len(rows), func(ci int, rng *rand.Rand) {
+		n, k := sizes[ci/len(kinds)], kinds[ci%len(kinds)]
+		var worst float64
+		for rep := 0; rep < 20; rep++ {
+			x := matrix.Vector(workload.Continuous(k, n, 1e4, rng))
+			lhs := load.PairwiseSquaredSum(x)
+			var direct float64
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					d := x[i] - x[j]
+					direct += d * d
 				}
 			}
-			t.AddRowf(n, k.String(), worst)
+			rhs := 2 * float64(n) * load.PotentialAround(x, x.Mean())
+			if rhs == 0 {
+				continue
+			}
+			relA := math.Abs(lhs-rhs) / rhs
+			relB := math.Abs(direct-rhs) / rhs
+			if relA > worst {
+				worst = relA
+			}
+			if relB > worst {
+				worst = relB
+			}
 		}
-	}
+		rows[ci] = row{n, k.String(), worst}
+	})
+	emit(t, rows)
 	t.Note("all relative errors must sit at floating-point noise (≲1e-9).")
 	return t
 }
@@ -94,14 +96,15 @@ func E8PotentialIdentity(o Options) *trace.Table {
 func E9RandomPartners(o Options) *trace.Table {
 	t := trace.NewTable("E9 — Lemma 11 / Theorem 12: continuous random partners",
 		"n", "mean Φᵗ⁺¹/Φᵗ", "bound 19/20", "rounds to e⁻¹", "Thm 12 bound (c=1)", "rounds/bound")
-	rng := rand.New(rand.NewSource(o.seed()))
 	sizes := []int{32, 128, 512}
 	trials := 200
 	if o.Quick {
 		sizes = []int{64}
 		trials = 40
 	}
-	for _, n := range sizes {
+	rows := make([]row, len(sizes))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		n := sizes[i]
 		// Per-round contraction from a spike start, averaged over trials.
 		init := workload.Continuous(workload.Spike, n, float64(n)*1000, nil)
 		var factors []float64
@@ -118,8 +121,9 @@ func E9RandomPartners(o Options) *trace.Table {
 		phi0 := st.Potential()
 		bound := 120 * math.Log(phi0)
 		res := sim.Run(st, int(bound)+1, sim.UntilPotential(math.Exp(-1)))
-		t.AddRowf(n, meanFactor, randpair.ContinuousDropBound, res.Rounds, bound, float64(res.Rounds)/bound)
-	}
+		rows[i] = row{n, meanFactor, randpair.ContinuousDropBound, res.Rounds, bound, float64(res.Rounds) / bound}
+	})
+	emit(t, rows)
 	t.Note("Lemma 11 holds when mean factor ≤ 0.95; Theorem 12 when rounds/bound ≤ 1 (measured is typically ≪).")
 	return t
 }
@@ -130,14 +134,15 @@ func E9RandomPartners(o Options) *trace.Table {
 func E10RandomPartnersDiscrete(o Options) *trace.Table {
 	t := trace.NewTable("E10 — Lemma 13 / Theorem 14: discrete random partners",
 		"n", "mean Φᵗ⁺¹/Φᵗ", "bound 39/40", "rounds to 3200n", "Thm 14 bound (c=1)", "rounds/bound")
-	rng := rand.New(rand.NewSource(o.seed()))
 	sizes := []int{32, 128, 512}
 	trials := 200
 	if o.Quick {
 		sizes = []int{64}
 		trials = 40
 	}
-	for _, n := range sizes {
+	rows := make([]row, len(sizes))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		n := sizes[i]
 		init := workload.Discrete(workload.Spike, n, int64(n)*100000, nil)
 		var factors []float64
 		for k := 0; k < trials; k++ {
@@ -153,8 +158,9 @@ func E10RandomPartnersDiscrete(o Options) *trace.Table {
 		thr := randpair.DiscreteThreshold(n)
 		bound := 240 * math.Log(phi0/thr)
 		res := sim.Run(st, int(bound)+1, sim.UntilPotential(thr))
-		t.AddRowf(n, meanFactor, randpair.DiscreteDropBound, res.Rounds, bound, float64(res.Rounds)/bound)
-	}
+		rows[i] = row{n, meanFactor, randpair.DiscreteDropBound, res.Rounds, bound, float64(res.Rounds) / bound}
+	})
+	emit(t, rows)
 	t.Note("Lemma 13 holds when mean factor ≤ 0.975 above the 3200n threshold; Theorem 14 when rounds/bound ≤ 1.")
 	return t
 }
@@ -165,19 +171,21 @@ func E10RandomPartnersDiscrete(o Options) *trace.Table {
 func E14BallsBins(o Options) *trace.Table {
 	t := trace.NewTable("E14 — balls into bins: maximum partner count vs Θ(ln n/ln ln n)",
 		"n", "mean max load", "ln n/ln ln n", "ratio")
-	rng := rand.New(rand.NewSource(o.seed()))
 	sizes := []int{64, 256, 1024, 4096, 16384}
 	trials := 100
 	if o.Quick {
 		sizes = []int{256, 1024}
 		trials = 20
 	}
-	for _, n := range sizes {
+	rows := make([]row, len(sizes))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		n := sizes[i]
 		sample := ballsbins.MaxLoadStats(n, trials, rng)
 		mean := stats.Summarize(sample).Mean
 		approx := ballsbins.ExpectedMaxLoadApprox(n)
-		t.AddRowf(n, mean, approx, mean/approx)
-	}
+		rows[i] = row{n, mean, approx, mean / approx}
+	})
+	emit(t, rows)
 	t.Note("the ratio must stay bounded (Θ(1)) as n grows — the Θ(ln n/ln ln n) shape of [1].")
 	return t
 }

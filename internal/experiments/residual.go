@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"math/rand"
 
 	"repro/internal/diffusion"
 	"repro/internal/graph"
@@ -32,7 +33,9 @@ func E17ResidualScaling(o Options) *trace.Table {
 	if o.Quick {
 		horizon = 20000
 	}
-	for _, d := range dims {
+	rows := make([]row, len(dims))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		d := dims[i]
 		g := graph.Hypercube(d)
 		lambda2 := 2.0 // closed form for Q_d
 		tokens := workload.Discrete(workload.Spike, g.N(), int64(g.N())*1_000_000, nil)
@@ -48,8 +51,9 @@ func E17ResidualScaling(o Options) *trace.Table {
 
 		paperThr := diffusion.DiscreteThreshold(g, lambda2)
 		mgsThr := diffusion.MGSResidualShape(g)
-		t.AddRowf(g.N(), a1.Potential(), paperThr, fos.Potential(), mgsThr, paperThr/mgsThr)
-	}
+		rows[i] = row{g.N(), a1.Potential(), paperThr, fos.Potential(), mgsThr, paperThr / mgsThr}
+	})
+	emit(t, rows)
 	t.Note("both measured residuals must sit below their formulas; the last column shows the paper's guarantee overtaking [15]'s as n grows (crossover at 32δ = n, i.e. Q8).")
 	return t
 }
@@ -63,7 +67,10 @@ func E17ResidualScaling(o Options) *trace.Table {
 func E18ContractionRate(o Options) *trace.Table {
 	t := trace.NewTable("E18 — per-round contraction: measured vs (1 − λ₂/4δ) guarantee vs exact γ_P²",
 		"graph", "measured rate", "guarantee 1−λ₂/4δ", "exact γ_P²", "measured ≤ guarantee")
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite))
+	o.sweep(len(rows), func(i int, _ *rand.Rand) {
+		g := suite[i]
 		lambda2 := spectral.MustLambda2(g)
 		guarantee := 1 - lambda2/(4*float64(g.MaxDegree()))
 
@@ -97,8 +104,9 @@ func E18ContractionRate(o Options) *trace.Table {
 		}
 		series := full[len(full)/2:]
 		measured := stats.GeometricDecayRate(series)
-		t.AddRowf(g.Name(), measured, guarantee, gammaP, measured <= guarantee+1e-9)
-	}
+		rows[i] = row{g.Name(), measured, guarantee, gammaP, measured <= guarantee+1e-9}
+	})
+	emit(t, rows)
 	t.Note("measured must not exceed the guarantee (Theorem 4's engine); the gap to γ_P² is the analysis slack — the true asymptotic rate on every graph.")
 	return t
 }

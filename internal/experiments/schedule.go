@@ -25,14 +25,16 @@ func A8MatchingSchedule(o Options) *trace.Table {
 	t := trace.NewTable("A8 — matching schedules: round-robin coloring [3] vs random matchings [12] (rounds to 1e-4·Φ⁰)",
 		"graph", "colors (sweep)", "roundrobin", "random (mean±sd)", "random/roundrobin")
 	const eps = 1e-4
-	rng := rand.New(rand.NewSource(o.seed()))
 	reps := 10
 	horizon := 500000
 	if o.Quick {
 		reps = 3
 		horizon = 50000
 	}
-	for _, g := range fixedSuite(o.Quick) {
+	suite := fixedSuite(o.Quick)
+	rows := make([]row, len(suite))
+	o.sweep(len(rows), func(i int, rng *rand.Rand) {
+		g := suite[i]
 		init := workload.Continuous(workload.Spike, g.N(), 1e8, nil)
 
 		rr := dimexchange.NewRoundRobin(g, init)
@@ -44,8 +46,9 @@ func A8MatchingSchedule(o Options) *trace.Table {
 			rnd = append(rnd, float64(sim.RoundsToFraction(st, eps, horizon)))
 		}
 		s := stats.Summarize(rnd)
-		t.AddRowf(g.Name(), rr.Sweep(), rrRounds, formatMeanSD(s), s.Mean/float64(rrRounds))
-	}
+		rows[i] = row{g.Name(), rr.Sweep(), rrRounds, formatMeanSD(s), s.Mean / float64(rrRounds)}
+	})
+	emit(t, rows)
 	// Hypercube with the exact dimension schedule: one sweep suffices.
 	d := 6
 	if o.Quick {

@@ -8,6 +8,7 @@ package parallel
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // For runs body(i) for every i in [0, n) across at most workers goroutines,
@@ -48,6 +49,45 @@ func For(n, workers int, body func(i int)) {
 				body(i)
 			}
 		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs body(i) for every i in [0, n) across at most workers
+// goroutines, handing out indices one at a time from a shared counter.
+// Unlike For's contiguous blocks, this keeps all workers busy when
+// iteration costs are wildly uneven (e.g. batch run units whose simulated
+// rounds differ by orders of magnitude). workers ≤ 0 selects GOMAXPROCS.
+func ForDynamic(n, workers int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

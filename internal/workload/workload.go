@@ -63,6 +63,16 @@ func AllKinds() []Kind {
 	return []Kind{Spike, Uniform, Bimodal, Exponential, PowerLaw, LinearRamp, Flat}
 }
 
+// ParseKind converts a CLI name (as produced by Kind.String) into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown kind %q", s)
+}
+
 // Continuous generates an n-node continuous load vector of the given kind.
 // scale sets the magnitude (for Spike it is the total load; for the i.i.d.
 // kinds the per-node scale). rng may be nil for the deterministic kinds.
