@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench grid-smoke ci
+.PHONY: build test vet fmt fmt-check bench grid-smoke resume-smoke ci
 
 build:
 	$(GO) build ./...
@@ -32,4 +32,23 @@ grid-smoke:
 	$(GO) run ./cmd/lbbench -grid -n 32 -seeds 1,2 -parallel 8 -format csv > /tmp/lbbench-w8.csv
 	cmp /tmp/lbbench-w1.csv /tmp/lbbench-w8.csv
 
-ci: build vet fmt-check test bench grid-smoke
+RESUME_ARGS = -grid -topos cycle,torus,hypercube,star,complete,path \
+	-algos diffusion,dimexchange,randpair -modes continuous,discrete \
+	-loads spike,uniform -n 192 -seeds 1,2,3 -eps 1e-5 -parallel 4 -format csv
+
+resume-smoke:
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	rm -f /tmp/lbbench-cells.jsonl
+	/tmp/lbbench $(RESUME_ARGS) > /tmp/lbbench-full.csv
+	/tmp/lbbench $(RESUME_ARGS) -out /tmp/lbbench-cells.jsonl > /dev/null & \
+	pid=$$!; \
+	for i in $$(seq 1 600); do \
+		{ [ -f /tmp/lbbench-cells.jsonl ] && [ "$$(wc -l < /tmp/lbbench-cells.jsonl)" -ge 80 ]; } && break; \
+		kill -0 $$pid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	kill -INT $$pid 2>/dev/null; wait $$pid || true
+	/tmp/lbbench $(RESUME_ARGS) -resume /tmp/lbbench-cells.jsonl -out /tmp/lbbench-cells.jsonl > /tmp/lbbench-resumed.csv
+	cmp /tmp/lbbench-full.csv /tmp/lbbench-resumed.csv
+
+ci: build vet fmt-check test bench grid-smoke resume-smoke

@@ -22,19 +22,40 @@
 // run units, executes them across -parallel workers with per-unit
 // deterministic RNG streams, and emits one aggregated report (table, csv or
 // json). Output is identical for any -parallel value.
+//
+// Streaming and resuming (grids too large for memory, or runs that may be
+// interrupted):
+//
+//	lbbench -grid ... -out cells.jsonl              # journal cells as they finish
+//	lbbench -grid ... -resume cells.jsonl -out cells.jsonl
+//
+// -out streams each finished cell as one JSON line, in deterministic
+// expansion order, flushed per cell — an interrupted run (Ctrl-C, SIGTERM,
+// even SIGKILL) leaves a valid journal: every line already written is
+// intact, and at most a small sequencing window of completed-but-unwritten
+// cells (plus one torn final line under a hard kill) is lost and simply
+// re-runs. -resume replays the journal's clean cells by unit key, re-runs
+// only the missing or failed ones, and emits a report byte-identical to an
+// uninterrupted run. -cache-stats reports the shared spectral cache's hit
+// counts.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/speccache"
 )
 
 func main() {
@@ -57,6 +78,10 @@ func main() {
 		eps    = flag.Float64("eps", 1e-3, "grid: convergence target Φ ≤ ε·Φ⁰")
 		rounds = flag.Int("rounds", 0, "grid: round cap per unit (0 = theorem-derived default)")
 		format = flag.String("format", "table", "grid: output format (table, csv, json)")
+
+		out        = flag.String("out", "", "grid: stream finished cells to this JSONL journal (resumable with -resume)")
+		resume     = flag.String("resume", "", "grid: replay completed cells from this JSONL journal, re-run only the rest")
+		cacheStats = flag.Bool("cache-stats", false, "print shared spectral-cache statistics to stderr on exit")
 	)
 	flag.Parse()
 
@@ -66,10 +91,20 @@ func main() {
 		}
 		return
 	}
+	var code int
 	if *grid {
-		os.Exit(runGrid(*topos, *algos, *modes, *loads, *seeds, *n, *scale, *eps, *rounds, *parallel, *format))
+		code = runGrid(gridFlags{
+			topos: *topos, algos: *algos, modes: *modes, loads: *loads,
+			seeds: *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
+			workers: *parallel, format: *format, out: *out, resume: *resume,
+		})
+	} else {
+		code = runExperiments(*exp, *seed, *quick, *csv, *parallel)
 	}
-	os.Exit(runExperiments(*exp, *seed, *quick, *csv, *parallel))
+	if *cacheStats {
+		fmt.Fprintf(os.Stderr, "lbbench: speccache: %s\n", speccache.Shared().Stats())
+	}
+	os.Exit(code)
 }
 
 // runExperiments is the classic per-experiment table mode.
@@ -118,33 +153,109 @@ func runExperiments(exp string, seed int64, quick, csv bool, workers int) int {
 	return 0
 }
 
+// gridFlags bundles the grid-mode flag values.
+type gridFlags struct {
+	topos, algos, modes, loads, seeds string
+	n                                 int
+	scale, eps                        float64
+	rounds, workers                   int
+	format, out, resume               string
+}
+
 // runGrid expands and executes one declarative sweep through the batch
-// engine and emits the aggregated report.
-func runGrid(topos, algos, modes, loads, seeds string, n int, scale, eps float64, rounds, workers int, format string) int {
-	seedList, err := parseSeeds(seeds)
+// engine — streaming cells to the -out journal, replaying the -resume
+// journal — and emits the aggregated report.
+func runGrid(f gridFlags) int {
+	seedList, err := parseSeeds(f.seeds)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		return 2
 	}
 	spec := batch.Spec{
-		Topologies: splitList(topos),
-		Algorithms: splitList(algos),
-		Modes:      splitList(modes),
-		Workloads:  splitList(loads),
+		Topologies: splitList(f.topos),
+		Algorithms: splitList(f.algos),
+		Modes:      splitList(f.modes),
+		Workloads:  splitList(f.loads),
 		Seeds:      seedList,
-		N:          n,
-		Scale:      scale,
-		Epsilon:    eps,
-		MaxRounds:  rounds,
-		Workers:    workers,
+		N:          f.n,
+		Scale:      f.scale,
+		Epsilon:    f.eps,
+		MaxRounds:  f.rounds,
+		Workers:    f.workers,
 	}
-	report, err := core.BalanceGrid(spec)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+	// A typo'd -format must not cost a full sweep: reject it before running,
+	// not when rendering.
+	switch f.format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", f.format)
+		return 2
+	}
+	// When journal files are at stake, fail on anything the engine would
+	// reject — bad dimensions, unknown algorithms, unbuildable topologies —
+	// before touching them: -out truncates, and a partial journal must
+	// survive a typo'd resume invocation. (Without journal flags the engine
+	// reports the same errors itself, so the topologies are not built
+	// twice for nothing.)
+	if f.out != "" || f.resume != "" {
+		if err := core.ValidateGridSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return 2
+		}
+	}
+
+	// The -resume journal is read fully before -out is opened, so resuming
+	// in place (-resume X -out X) reads the partial journal and then
+	// rewrites it complete.
+	var journal *batch.Journal
+	if f.resume != "" {
+		j, err := batch.ReadJournalFile(f.resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return 2
+		}
+		if j.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "lbbench: journal %s: dropped %d corrupt/truncated line(s); those units will re-run\n", f.resume, j.Dropped)
+		}
+		// Refuse a parameter mismatch now, while the partial journal is
+		// still the only copy — -out may truncate it next.
+		if err := j.CheckSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return 2
+		}
+		journal = j
+	}
+	var sink batch.Sink
+	if f.out != "" {
+		js, err := batch.CreateJSONL(f.out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return 2
+		}
+		defer js.Close()
+		sink = js
+	}
+
+	// SIGINT/SIGTERM cancel the sweep instead of killing the process:
+	// in-flight units finish, every remaining cell is journaled with its
+	// cancellation error, and the journal closes cleanly for -resume. The
+	// first signal consumes the graceful path — once it fires, default
+	// disposition is restored so a second Ctrl-C terminates immediately
+	// instead of being swallowed while the sweep drains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	report, runErr := core.BalanceGridResume(ctx, spec, journal, sink)
+	if report == nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", runErr)
 		return 2
 	}
 
-	switch format {
+	switch f.format {
 	case "table":
 		err = report.Table().Render(os.Stdout)
 		if err == nil {
@@ -155,7 +266,7 @@ func runGrid(topos, algos, modes, loads, seeds string, n int, scale, eps float64
 	case "json":
 		err = report.RenderJSON(os.Stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", format)
+		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", f.format)
 		return 2
 	}
 	if err != nil {
@@ -166,6 +277,14 @@ func runGrid(topos, algos, modes, loads, seeds string, n int, scale, eps float64
 	// counts (and across runs).
 	fmt.Fprintf(os.Stderr, "lbbench: %d units (%d failed) in %v\n",
 		len(report.Cells), report.Failed(), report.Elapsed.Round(time.Millisecond))
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) && f.out != "" {
+			fmt.Fprintf(os.Stderr, "lbbench: interrupted — resume with: lbbench -grid ... -resume %s -out %s\n", f.out, f.out)
+		} else {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", runErr)
+		}
+		return 3
+	}
 	// Any failed unit means the emitted figure has holes: scripts checking
 	// the exit status must not mistake a partial sweep for a complete one.
 	if report.Failed() > 0 {

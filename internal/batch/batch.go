@@ -6,11 +6,23 @@
 // convergence statistics (rounds vs. the theorem bound, final discrepancy,
 // wall time).
 //
+// The engine is sink-driven: finished cells can additionally be streamed,
+// one at a time and in deterministic expansion order (a sequencing layer
+// reorders out-of-order completions for any worker count), to a Sink —
+// MemorySink for the classic in-RAM report, JSONLSink for a
+// one-line-per-cell journal on disk, MultiSink to fan out. JSONL journals
+// are the unit of crash recovery: Resume replays a journal's completed
+// unit Keys and re-enqueues only the missing or failed cells, merging old
+// and new into a report byte-identical to an uninterrupted run. (The
+// in-process Report still materializes every cell — O(units) memory; the
+// journal is the durable record that makes long sweeps restartable, and
+// journals from sharded sweeps concatenate for a single resumed merge.)
+//
 // The package is deliberately algorithm-agnostic: a RunFunc executes one
 // unit, so the engine never imports internal/core (which wires it up as
 // core.BalanceGrid) and any harness — the experiments suite, the CLIs, the
-// root benchmarks — can reuse the same expansion, pooling and aggregation
-// machinery with its own run body.
+// root benchmarks — can reuse the same expansion, pooling, streaming and
+// aggregation machinery with its own run body.
 package batch
 
 import (
@@ -104,6 +116,16 @@ func (u Unit) seedBase() int64 {
 	h := fnv.New64a()
 	h.Write([]byte(u.Key()))
 	return int64(h.Sum64())
+}
+
+// Validate checks spec without running anything: every dimension must be
+// non-empty and duplicate-free after normalization, modes and workloads must
+// parse, and the seed list must not repeat — the same up-front rejection
+// Expand applies, exposed so CLIs can fail fast (before truncating a journal
+// file) instead of expanding to a zero-unit or duplicated sweep.
+func (s Spec) Validate() error {
+	_, err := Expand(s)
+	return err
 }
 
 // Expand validates spec and produces the exhaustive, duplicate-free unit

@@ -188,8 +188,11 @@ func TestRunContextCancelled(t *testing.T) {
 		time.Sleep(time.Second)
 		return batch.Outcome{}, nil
 	})
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled run must still return its partial report")
 	}
 	if rep.Failed() != len(rep.Cells) {
 		t.Fatalf("pre-cancelled run completed %d units", len(rep.Cells)-rep.Failed())
@@ -209,8 +212,8 @@ func TestRunContextCancelMidSweep(t *testing.T) {
 		}
 		return fakeRun(u, g, loads, algoSeed)
 	})
-	if err != nil {
-		t.Fatal(err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	for i, c := range rep.Cells {
 		if i <= 4 && c.Err != "" {
@@ -218,6 +221,35 @@ func TestRunContextCancelMidSweep(t *testing.T) {
 		}
 		if i > 4 && c.Err == "" {
 			t.Fatalf("unit %d ran after the cancel", i)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := okSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*batch.Spec)
+		want   string
+	}{
+		{"empty topologies", func(s *batch.Spec) { s.Topologies = nil }, "no topology"},
+		{"empty algorithms", func(s *batch.Spec) { s.Algorithms = []string{} }, "no algorithm"},
+		{"empty workloads", func(s *batch.Spec) { s.Workloads = nil }, "no workload"},
+		{"blank entry", func(s *batch.Spec) { s.Modes = []string{"continuous", "  "} }, "empty mode"},
+		{"duplicate seeds", func(s *batch.Spec) { s.Seeds = []int64{1, 2, 1} }, "duplicate seed"},
+		{"duplicate topology", func(s *batch.Spec) { s.Topologies = []string{"cycle", " CYCLE "} }, "duplicate topology"},
+	}
+	for _, tc := range cases {
+		spec := okSpec()
+		tc.mutate(&spec)
+		err := spec.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted the spec", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/graph"
@@ -77,58 +79,65 @@ func Run(spec Spec, run RunFunc) (*Report, error) {
 }
 
 // RunContext is Run with cancellation: units not yet started when ctx fires
-// record ctx.Err() and the already-running ones finish normally.
+// record ctx.Err() in their cells, the already-running ones finish normally,
+// and the partial report is returned together with ctx.Err().
 func RunContext(ctx context.Context, spec Spec, run RunFunc) (*Report, error) {
+	return RunSink(ctx, spec, run, nil)
+}
+
+// RunSink is RunContext with a streaming sink: every finished cell is also
+// delivered to sink in expansion order, each the moment it and all its
+// predecessors completed (see Sink). sink may be nil. The report is returned
+// even when ctx fires or the sink errors, alongside the corresponding error,
+// so callers always have the partial results the journal also recorded.
+func RunSink(ctx context.Context, spec Spec, run RunFunc, sink Sink) (*Report, error) {
+	return runSink(ctx, spec, run, sink, nil)
+}
+
+// runSink is the engine body shared by fresh runs and resumes: replay maps
+// unit Keys to journaled outcomes that are adopted instead of re-run.
+func runSink(ctx context.Context, spec Spec, run RunFunc, sink Sink, replay map[string]Outcome) (*Report, error) {
 	spec = spec.withDefaults()
 	units, err := Expand(spec)
 	if err != nil {
 		return nil, err
 	}
-
-	// Topologies are built once, serially, so randomized families (rgg,
-	// smallworld, random-regular) are reproducible regardless of pool
-	// scheduling and every unit of a topology sees the same instance.
-	graphs := make(map[string]*graph.G)
-	for _, u := range units {
-		if _, ok := graphs[u.Topology]; ok {
-			continue
-		}
-		g, err := topoparse.Build(u.Topology, spec.N, topologySeed(u.Topology))
-		if err != nil {
-			return nil, fmt.Errorf("batch: %w", err)
-		}
-		graphs[u.Topology] = g
+	graphs, err := BuildGraphs(spec)
+	if err != nil {
+		return nil, err
 	}
+	if sw, ok := sink.(SpecWriter); ok {
+		if err := sw.Spec(spec); err != nil {
+			return nil, err
+		}
+	}
+
+	// A failing sink (disk full under the journal) cancels the sweep: with
+	// nothing durable being recorded, computing the remaining units at full
+	// cost would be pure waste. In-flight units finish; the rest record the
+	// cancellation.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	start := time.Now()
 	cells := make([]Cell, len(units))
-	errs := forEach(ctx, len(units), spec.Workers, func(i int) error {
-		u := units[i]
-		g := graphs[u.Topology]
-		// Both streams hang off the unit key, not the grid position, so a
-		// cell's numbers survive the grid growing around it.
-		base := u.seedBase()
-		loads := workload.Continuous(u.Workload, g.N(),
-			spec.Scale, rand.New(rand.NewSource(parallel.DeriveSeed(base, 0))))
-		algoSeed := parallel.DeriveSeed(base, 1)
-
-		unitStart := time.Now()
-		out, err := run(u, g, loads, algoSeed)
-		cells[i] = Cell{Unit: u, Outcome: out, Wall: time.Since(unitStart)}
-		if err != nil {
-			return err
-		}
-		cells[i].finish(g.N())
-		return nil
-	})
-	// Units that were cancelled or panicked never wrote their cell; stamp
-	// the identity and error in so the report stays self-describing.
-	for i, err := range errs {
-		if err != nil {
-			cells[i].Unit = units[i]
-			cells[i].Err = err.Error()
-		}
+	var seq *sequencer
+	if sink != nil {
+		seq = newSequencer(sink, cancel, sinkLookahead(spec.Workers))
 	}
+	parallel.ForDynamic(len(units), spec.Workers, func(i int) {
+		if seq != nil {
+			seq.acquire(i)
+		}
+		c := execUnit(ctx, spec, units[i], graphs[units[i].Topology], run, replay)
+		cells[i] = c
+		if seq != nil {
+			seq.deliver(i, c)
+		}
+	})
 
 	rep := &Report{
 		Spec:    spec,
@@ -136,7 +145,105 @@ func RunContext(ctx context.Context, spec Spec, run RunFunc) (*Report, error) {
 		Elapsed: time.Since(start),
 	}
 	rep.aggregate()
+	if seq != nil && seq.err != nil {
+		return rep, seq.err
+	}
+	if ctx.Err() != nil {
+		return rep, ctx.Err()
+	}
 	return rep, nil
+}
+
+// sinkLookahead sizes the sequencer's window: wide enough that a full pool
+// never throttles on ordinary cost variation, narrow enough that one
+// pathologically slow unit cannot leave an unbounded stretch of completed
+// cells buffered in memory instead of journaled.
+func sinkLookahead(workers int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return 4*workers + 16
+}
+
+// builtGraphs memoizes topology construction per (name, n): construction is
+// deterministic (the seed derives from the name alone), graphs are
+// immutable, and the engine's instance-sharing invariant only gets stronger
+// when validation, repeated sweeps and the run itself all see the same
+// instance — so the second build a validate-then-run CLI would otherwise
+// pay disappears, and so do duplicate eigensolves downstream (same instance
+// → same speccache fingerprint, trivially).
+var builtGraphs sync.Map // "name|n" → *graph.G
+
+// BuildGraphs builds each distinct topology of spec exactly as the engine
+// will run it: with name-derived construction seeds, so randomized families
+// (rgg, smallworld, random-regular) are reproducible regardless of pool
+// scheduling and every unit of a topology sees the same instance — the same
+// one across repeated calls in a process, via memoization. Exposed so
+// callers can validate a spec's topologies are buildable before committing
+// to side effects (truncating a journal file) without paying for the
+// construction twice.
+func BuildGraphs(spec Spec) (map[string]*graph.G, error) {
+	spec = spec.withDefaults()
+	names, err := normalize("topology", spec.Topologies)
+	if err != nil {
+		return nil, err
+	}
+	graphs := make(map[string]*graph.G)
+	for _, name := range names {
+		key := fmt.Sprintf("%s|%d", name, spec.N)
+		if g, ok := builtGraphs.Load(key); ok {
+			graphs[name] = g.(*graph.G)
+			continue
+		}
+		g, err := topoparse.Build(name, spec.N, topologySeed(name))
+		if err != nil {
+			return nil, fmt.Errorf("batch: %w", err)
+		}
+		// Concurrent builders race benignly: construction is deterministic,
+		// so whichever instance lands in the map is the one everyone shares
+		// from then on.
+		actual, _ := builtGraphs.LoadOrStore(key, g)
+		graphs[name] = actual.(*graph.G)
+	}
+	return graphs, nil
+}
+
+// execUnit produces unit u's cell: a replayed outcome when the journal has
+// one, a fresh run otherwise. Panics and per-unit errors are captured in the
+// cell so one bad unit never wedges the sweep.
+func execUnit(ctx context.Context, spec Spec, u Unit, g *graph.G, run RunFunc, replay map[string]Outcome) (c Cell) {
+	c.Unit = u
+	if out, ok := replay[u.Key()]; ok {
+		c.Outcome = out
+		c.finish(g.N())
+		return c
+	}
+	if ctx != nil && ctx.Err() != nil {
+		c.Err = ctx.Err().Error()
+		return c
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			c = Cell{Unit: u, Err: fmt.Sprintf("batch: unit %d panicked: %v", u.Index, r)}
+		}
+	}()
+	// Both streams hang off the unit key, not the grid position, so a
+	// cell's numbers survive the grid growing around it.
+	base := u.seedBase()
+	loads := workload.Continuous(u.Workload, g.N(),
+		spec.Scale, rand.New(rand.NewSource(parallel.DeriveSeed(base, 0))))
+	algoSeed := parallel.DeriveSeed(base, 1)
+
+	unitStart := time.Now()
+	out, err := run(u, g, loads, algoSeed)
+	c.Outcome = out
+	c.Wall = time.Since(unitStart)
+	if err != nil {
+		c.Err = err.Error()
+		return c
+	}
+	c.finish(g.N())
+	return c
 }
 
 // topologySeed derives the deterministic construction seed for a randomized

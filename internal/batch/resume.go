@@ -1,0 +1,152 @@
+package batch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Journal is a parsed JSONL journal: the spec headers and the cells
+// recovered before the first undecodable line.
+type Journal struct {
+	// Specs are the specs the journal's outcomes were produced under, one
+	// per header line in order — several when shard journals were
+	// concatenated, empty for headerless journals. Resume uses them to
+	// refuse journals whose run parameters don't match the resuming spec.
+	Specs []Spec
+	// Cells are the recovered cells, in journal order.
+	Cells []Cell
+	// Dropped counts the non-empty lines discarded as corrupt/truncated.
+	Dropped int
+}
+
+// ReadJournal parses a JSONL journal written by JSONLSink: a spec header
+// followed by one Cell per line. A sweep killed mid-write can leave a torn
+// final line, and a corrupt byte invalidates everything after it (there is
+// no resynchronization point inside a line) — so parsing stops at the first
+// undecodable line and the remainder is discarded into Dropped; Resume
+// simply re-runs the units those lines would have covered, which is the
+// safe direction. err reports I/O failures only.
+func ReadJournal(r io.Reader) (*Journal, error) {
+	j := &Journal{}
+	br := bufio.NewReader(r)
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if t := bytes.TrimSpace(line); len(t) > 0 {
+			// A header is distinguishable by its "spec" key, which a cell
+			// line never has. Headers are recognized anywhere, not just on
+			// line one: concatenated shard journals carry one per shard, and
+			// every one of them must reach CheckSpec (a mid-file header
+			// misread as a Cell would both bypass the parameter check and
+			// inject a phantom zero-value cell).
+			var h specHeader
+			if json.Unmarshal(t, &h) == nil && h.Spec != nil {
+				j.Specs = append(j.Specs, *h.Spec)
+				continue
+			}
+			var c Cell
+			if json.Unmarshal(t, &c) != nil {
+				j.Dropped++
+				j.Dropped += countLines(br)
+				return j, nil
+			}
+			j.Cells = append(j.Cells, c)
+		}
+		if readErr == io.EOF {
+			return j, nil
+		}
+		if readErr != nil {
+			return j, fmt.Errorf("batch: journal: %w", readErr)
+		}
+	}
+}
+
+// countLines drains r and counts its remaining non-empty lines.
+func countLines(br *bufio.Reader) int {
+	n := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+		if err != nil {
+			return n
+		}
+	}
+}
+
+// CheckSpec verifies every run-parameter header recorded in the journal
+// matches spec. A unit Key names only the grid coordinates (topology,
+// algorithm, mode, workload, seed), so outcomes recorded under a different
+// n, scale, ε or round cap would replay cleanly by Key while silently
+// corrupting the merged figure — exactly the mistake this check turns into
+// an error, including for a single mismatched shard inside a concatenated
+// journal. Headerless journals (truncated before the header, or written by
+// hand) pass on trust. Resume runs the check itself; CLIs also call it
+// before truncating the output journal, while the partial one is still the
+// only copy.
+func (j *Journal) CheckSpec(spec Spec) error {
+	want := spec.withDefaults()
+	for _, js := range j.Specs {
+		if js.N != want.N || js.Scale != want.Scale || js.Epsilon != want.Epsilon || js.MaxRounds != want.MaxRounds {
+			return fmt.Errorf(
+				"batch: resume: journal was recorded with n=%d scale=%g epsilon=%g max_rounds=%d, "+
+					"but this sweep uses n=%d scale=%g epsilon=%g max_rounds=%d — "+
+					"outcomes are not comparable; match the parameters or start fresh without the journal",
+				js.N, js.Scale, js.Epsilon, js.MaxRounds,
+				want.N, want.Scale, want.Epsilon, want.MaxRounds)
+		}
+	}
+	return nil
+}
+
+// ReadJournalFile is ReadJournal over the file at path.
+func ReadJournalFile(path string) (*Journal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("batch: journal: %w", err)
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}
+
+// Resume re-runs spec against a partial journal: units whose Key appears in
+// journal.Cells with an empty Err adopt the journaled outcome without
+// re-running; missing, failed and cancelled units are re-enqueued on the
+// pool. The merged report — and the stream delivered to sink, typically a
+// fresh journal replacing the partial one — is byte-identical to an
+// uninterrupted run of the same spec, for any worker count: replayed
+// outcomes round-trip exactly through JSON, derived statistics are
+// recomputed from them, and re-run units draw the same Key-derived RNG
+// streams they would have drawn the first time.
+//
+// A unit Key names only the grid coordinates (topology, algorithm, mode,
+// workload, seed), not the run parameters, so when the journal carries a
+// spec header Resume refuses to merge outcomes produced under a different
+// n, scale, ε or round cap — that mismatch would silently corrupt the
+// figure. Headerless journals are replayed on trust.
+//
+// Journal cells whose Key is not in spec's expansion are ignored, so a
+// journal can be replayed against a grown grid; keys duplicated by repeated
+// resumes resolve to the last occurrence. A nil journal degrades to a
+// fresh RunSink.
+func Resume(ctx context.Context, spec Spec, run RunFunc, journal *Journal, sink Sink) (*Report, error) {
+	if journal == nil {
+		return runSink(ctx, spec, run, sink, nil)
+	}
+	if err := journal.CheckSpec(spec); err != nil {
+		return nil, err
+	}
+	replay := make(map[string]Outcome, len(journal.Cells))
+	for _, c := range journal.Cells {
+		if c.Err != "" {
+			continue
+		}
+		replay[c.Key()] = c.Outcome
+	}
+	return runSink(ctx, spec, run, sink, replay)
+}

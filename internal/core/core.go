@@ -30,7 +30,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/randpair"
 	"repro/internal/sim"
-	"repro/internal/spectral"
+	"repro/internal/speccache"
 )
 
 // Algorithm selects the balancing scheme.
@@ -188,10 +188,12 @@ func Balance(cfg Config) (Result, error) {
 	res := Result{Algorithm: cfg.Algorithm, Mode: cfg.Mode, Delta: cfg.Graph.MaxDegree()}
 
 	// Spectral inputs for the bounds (skipped for RandomPartners, whose
-	// bounds are topology-free).
+	// bounds are topology-free). λ₂ comes through the shared speccache, so
+	// repeated runs on the same topology — every unit of a grid sweep —
+	// pay for the eigensolve once per process.
 	needsSpectra := cfg.Algorithm != RandomPartners
 	if needsSpectra && cfg.Graph.IsConnected() && n >= 2 {
-		l2, err := spectral.Lambda2(cfg.Graph)
+		l2, err := speccache.Lambda2(cfg.Graph)
 		if err != nil {
 			return Result{}, fmt.Errorf("core: λ₂: %w", err)
 		}
@@ -275,7 +277,7 @@ func buildSystem(cfg Config) (sim.System, error) {
 	case FirstOrder:
 		return diffusion.NewFirstOrder(cfg.Graph, cfg.Loads), nil
 	case SecondOrder:
-		gamma, err := spectral.Gamma(spectral.DiffusionMatrix(cfg.Graph))
+		gamma, err := speccache.Gamma(cfg.Graph)
 		if err != nil {
 			return nil, fmt.Errorf("core: γ for second-order β: %w", err)
 		}

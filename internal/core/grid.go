@@ -14,7 +14,9 @@ import (
 // RNG streams are derived from each unit's identity, so the aggregated
 // report is identical for any Spec.Workers value — one invocation with
 // Workers = GOMAXPROCS reproduces a whole paper figure's grid at full
-// hardware speed.
+// hardware speed. Per-(topology, n) spectral quantities (λ₂, γ) are
+// memoized in the shared speccache, so they are computed once per process,
+// not once per unit.
 //
 // Algorithm/mode combinations Balance rejects (e.g. firstorder × discrete)
 // surface as per-cell errors in the report, not as an overall failure.
@@ -23,17 +25,70 @@ func BalanceGrid(spec batch.Spec) (*batch.Report, error) {
 }
 
 // BalanceGridContext is BalanceGrid with cancellation: units not yet
-// started when ctx fires record the context error in their cells and the
-// report still returns.
+// started when ctx fires record the context error in their cells, and the
+// partial report is returned together with ctx.Err().
 func BalanceGridContext(ctx context.Context, spec batch.Spec) (*batch.Report, error) {
-	// Validate the algorithm names up front: a typo should fail the sweep,
-	// not silently error every cell.
+	return BalanceGridSink(ctx, spec, nil)
+}
+
+// BalanceGridSink is BalanceGridContext with a streaming sink: every
+// finished cell is also delivered to sink in expansion order as the sweep
+// progresses (typically a batch.JSONLSink journal, which makes long sweeps
+// crash-resumable). sink may be nil.
+func BalanceGridSink(ctx context.Context, spec batch.Spec, sink batch.Sink) (*batch.Report, error) {
+	if err := validateGridSpec(spec); err != nil {
+		return nil, err
+	}
+	return batch.RunSink(ctx, spec, balanceRunFunc(spec), sink)
+}
+
+// BalanceGridResume re-runs spec against a partial JSONL journal: units
+// journaled with a clean outcome are replayed by Key without re-running;
+// missing and failed units execute normally. The merged report (and the
+// stream written to sink) is byte-identical to an uninterrupted run of the
+// same spec — see batch.Resume, including its refusal of journals recorded
+// under different run parameters. A nil journal degrades to
+// BalanceGridSink.
+func BalanceGridResume(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
+	if err := validateGridSpec(spec); err != nil {
+		return nil, err
+	}
+	return batch.Resume(ctx, spec, balanceRunFunc(spec), journal, sink)
+}
+
+// ValidateGridSpec rejects every spec BalanceGrid would reject, without
+// running any unit: dimension validation (empty/duplicate entries,
+// duplicate seeds), algorithm names, and topology buildability at spec.N.
+// The topology check constructs each graph (and discards it — the sweep
+// builds its own), so call this only when an early failure protects a side
+// effect, in particular before truncating a journal file that a failed
+// sweep could not repopulate.
+func ValidateGridSpec(spec batch.Spec) error {
+	if err := validateGridSpec(spec); err != nil {
+		return err
+	}
+	_, err := batch.BuildGraphs(spec)
+	return err
+}
+
+// validateGridSpec rejects bad specs up front: a typo'd algorithm or an
+// empty/duplicated dimension should fail the sweep, not silently error
+// every cell.
+func validateGridSpec(spec batch.Spec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
 	for _, name := range spec.Algorithms {
 		if _, err := ParseAlgorithm(name); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return batch.RunContext(ctx, spec, func(u batch.Unit, g *graph.G, loads []float64, algoSeed int64) (batch.Outcome, error) {
+	return nil
+}
+
+// balanceRunFunc adapts Balance to the engine's RunFunc.
+func balanceRunFunc(spec batch.Spec) batch.RunFunc {
+	return func(u batch.Unit, g *graph.G, loads []float64, algoSeed int64) (batch.Outcome, error) {
 		alg, err := ParseAlgorithm(u.Algorithm)
 		if err != nil {
 			return batch.Outcome{}, err
@@ -62,7 +117,7 @@ func BalanceGridContext(ctx context.Context, spec batch.Spec) (*batch.Report, er
 			Bound:     res.Bound,
 			BoundName: res.BoundName,
 		}, nil
-	})
+	}
 }
 
 // nonZeroSeed keeps a derived seed out of Balance's "0 means default"

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -107,5 +109,119 @@ func TestBalanceGridUnsupportedComboIsCellError(t *testing.T) {
 	}
 	if bad != 1 || good != 3 {
 		t.Fatalf("bad=%d good=%d, want 1/3", bad, good)
+	}
+}
+
+// cancellingSink cancels the sweep after delivering `after` cells — the
+// deterministic stand-in for a Ctrl-C halfway through a grid.
+type cancellingSink struct {
+	inner  batch.Sink
+	after  int
+	seen   int
+	cancel context.CancelFunc
+}
+
+func (s *cancellingSink) Cell(c batch.Cell) error {
+	s.seen++
+	if s.seen == s.after {
+		s.cancel()
+	}
+	return s.inner.Cell(c)
+}
+
+func (s *cancellingSink) Close() error { return s.inner.Close() }
+
+// TestBalanceGridCancelLeavesResumableJournal interrupts a real balancing
+// sweep mid-flight and checks the contract the CLI's crash-and-resume
+// recipe rests on: the run returns ctx.Err(), the journal it leaves is
+// valid JSONL covering every unit (clean cells plus cancellation-error
+// cells), and resuming from it reproduces the uninterrupted run's CSV and
+// JSON byte-for-byte.
+func TestBalanceGridCancelLeavesResumableJournal(t *testing.T) {
+	spec := gridSpec()
+
+	render := func(rep *batch.Report) []byte {
+		var b bytes.Buffer
+		if err := rep.RenderCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.RenderJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	fullRep, err := BalanceGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullOut := render(fullRep)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var journalBuf bytes.Buffer
+	sink := &cancellingSink{
+		inner:  batch.NewJSONLSink(&journalBuf),
+		after:  len(fullRep.Cells) / 2,
+		cancel: cancel,
+	}
+	// Serial execution makes the cut deterministic: with a pool, a slow
+	// early unit can hold back the sequencer until every other unit has
+	// already run, so the cancel would land after the sweep finished.
+	partialSpec := spec
+	partialSpec.Workers = 1
+	partialRep, err := BalanceGridSink(ctx, partialSpec, sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+	if partialRep == nil || partialRep.Failed() == 0 {
+		t.Fatal("interrupted sweep reports no cancelled units")
+	}
+
+	journal, err := batch.ReadJournal(bytes.NewReader(journalBuf.Bytes()))
+	if err != nil || journal.Dropped != 0 {
+		t.Fatalf("interrupted journal invalid: dropped=%d err=%v", journal.Dropped, err)
+	}
+	if len(journal.Cells) != len(fullRep.Cells) {
+		t.Fatalf("journal covers %d of %d units", len(journal.Cells), len(fullRep.Cells))
+	}
+	clean := 0
+	for _, c := range journal.Cells {
+		if c.Err == "" {
+			clean++
+		} else if !strings.Contains(c.Err, context.Canceled.Error()) {
+			t.Fatalf("unexpected journal error %q", c.Err)
+		}
+	}
+	if clean == 0 || clean == len(journal.Cells) {
+		t.Fatalf("journal has %d clean cells of %d — not a mid-sweep cut", clean, len(journal.Cells))
+	}
+
+	for _, workers := range []int{1, 8} {
+		respec := spec
+		respec.Workers = workers
+		resumed, err := BalanceGridResume(context.Background(), respec, journal, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(render(resumed), fullOut) {
+			t.Fatalf("workers=%d: resumed grid differs from uninterrupted run", workers)
+		}
+	}
+}
+
+// TestBalanceGridRejectsBadSpecUpFront exercises the Validate path through
+// the public grid API: empty dimensions and duplicate seeds must fail
+// before any unit runs.
+func TestBalanceGridRejectsBadSpecUpFront(t *testing.T) {
+	for name, mutate := range map[string]func(*batch.Spec){
+		"empty topologies": func(s *batch.Spec) { s.Topologies = nil },
+		"duplicate seeds":  func(s *batch.Spec) { s.Seeds = []int64{1, 1} },
+		"duplicate mode":   func(s *batch.Spec) { s.Modes = []string{"continuous", "continuous"} },
+	} {
+		spec := gridSpec()
+		mutate(&spec)
+		if _, err := BalanceGrid(spec); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
 	}
 }

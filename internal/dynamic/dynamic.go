@@ -17,7 +17,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/graph"
 	"repro/internal/load"
-	"repro/internal/spectral"
+	"repro/internal/speccache"
 )
 
 // Sequence yields the active graph of each round. Implementations must be
@@ -145,8 +145,13 @@ func (r Result) Rounds() int { return len(r.Stats) }
 // potential falls to target or maxRounds elapse. Spectral stats are
 // computed per round (λ₂ of each round's graph), which is the dominant cost
 // for large graphs — callers that only need the trajectory can pass
-// withSpectra=false to skip it.
+// withSpectra=false to skip it. λ₂ goes through a per-run speccache, so
+// sequences that revisit graphs (alternating topologies, periodic failure
+// patterns) pay for each distinct round graph once — while sequences that
+// build a fresh graph every round only grow a cache that dies with the
+// run, not the process-wide one.
 func RunContinuous(seq Sequence, initial []float64, target float64, maxRounds int, withSpectra bool) Result {
+	cache := speccache.New()
 	cur := load.NewContinuous(initial)
 	res := Result{PhiStart: cur.Potential()}
 	phi := res.PhiStart
@@ -159,7 +164,7 @@ func RunContinuous(seq Sequence, initial []float64, target float64, maxRounds in
 		phi = cur.Potential()
 		stat := RoundStat{Round: k, Delta: g.MaxDegree(), Phi: phi}
 		if withSpectra {
-			if l2, err := spectral.Lambda2(g); err == nil {
+			if l2, err := cache.Lambda2(g); err == nil {
 				stat.Lambda2 = l2
 				if stat.Delta > 0 {
 					sumRatio += l2 / float64(stat.Delta)
@@ -178,6 +183,7 @@ func RunContinuous(seq Sequence, initial []float64, target float64, maxRounds in
 // RunDiscrete is RunContinuous for the discrete Algorithm 1. The run stops
 // when Φ ≤ target (callers pass the Theorem 8 threshold Φ*) or maxRounds.
 func RunDiscrete(seq Sequence, initial []int64, target float64, maxRounds int, withSpectra bool) Result {
+	cache := speccache.New()
 	cur := load.NewDiscrete(initial)
 	res := Result{PhiStart: cur.Potential()}
 	phi := res.PhiStart
@@ -190,7 +196,7 @@ func RunDiscrete(seq Sequence, initial []int64, target float64, maxRounds int, w
 		phi = cur.Potential()
 		stat := RoundStat{Round: k, Delta: g.MaxDegree(), Phi: phi}
 		if withSpectra {
-			if l2, err := spectral.Lambda2(g); err == nil {
+			if l2, err := cache.Lambda2(g); err == nil {
 				stat.Lambda2 = l2
 				if stat.Delta > 0 {
 					sumRatio += l2 / float64(stat.Delta)

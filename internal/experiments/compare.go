@@ -9,7 +9,7 @@ import (
 	"repro/internal/dimexchange"
 	"repro/internal/markov"
 	"repro/internal/sim"
-	"repro/internal/spectral"
+	"repro/internal/speccache"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -80,7 +80,7 @@ func E12VsFirstSecondOrder(o Options) *trace.Table {
 
 		gamma := math.NaN()
 		so := maxRounds + 1
-		if gm, err := spectral.Gamma(spectral.DiffusionMatrix(g)); err == nil {
+		if gm, err := speccache.Gamma(g); err == nil {
 			gamma = gm
 			so = sim.RoundsToFraction(diffusion.NewSecondOrder(g, init, diffusion.OptimalBeta(gm)), eps, maxRounds)
 		}
@@ -106,7 +106,7 @@ func E13LocalDivergence(o Options) *trace.Table {
 	rows := make([]row, len(suite))
 	o.sweep(len(rows), func(i int, _ *rand.Rand) {
 		g := suite[i]
-		mu, err := spectral.EigenGap(spectral.PaperDiffusionMatrix(g))
+		mu, err := speccache.PaperEigenGap(g)
 		if err != nil || mu <= 0 {
 			return
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/randpair"
 	"repro/internal/sim"
+	"repro/internal/speccache"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -38,7 +39,7 @@ func E15FlowOptimality(o Options) *trace.Table {
 	o.sweep(len(rows), func(i int, _ *rand.Rand) {
 		g := suite[i]
 		l := matrix.Vector(workload.Continuous(workload.Spike, g.N(), 1e6, nil))
-		opt, err := flow.Optimal(g, l)
+		opt, err := speccache.OptimalFlow(g, l)
 		if err != nil {
 			return
 		}
@@ -82,17 +83,9 @@ func E16CommunicationCost(o Options) *trace.Table {
 	}
 	suite := fixedSuite(o.Quick)
 	// The optimal-flow L1 depends only on the topology (same spike start for
-	// every scheme): one Laplacian solve per graph, in parallel, up front.
-	optL1s := make([]float64, len(suite))
-	o.sweep(len(suite), func(i int, _ *rand.Rand) {
-		optL1s[i] = math.NaN()
-		l := matrix.Vector(workload.Continuous(workload.Spike, suite[i].N(), 1e6, nil))
-		if opt, err := flow.Optimal(suite[i], l); err == nil {
-			optL1s[i] = opt.L1()
-		}
-	})
-	// Three schemes per topology: each is its own sweep cell so the pool
-	// balances across the full scheme × topology grid.
+	// every scheme): the speccache runs one Laplacian solve per graph —
+	// shared with E15's per-topology solve, which uses the same spike load —
+	// and the three scheme cells of each topology hit it.
 	schemes := []string{"diffusion", "dimexchange", "randpair"}
 	rows := make([]row, len(suite)*len(schemes))
 	o.sweep(len(rows), func(ci int, rng *rand.Rand) {
@@ -100,7 +93,10 @@ func E16CommunicationCost(o Options) *trace.Table {
 		l := matrix.Vector(workload.Continuous(workload.Spike, g.N(), 1e6, nil))
 		phi0 := potentialOf(l)
 		target := eps * phi0
-		optL1 := optL1s[ci/len(schemes)]
+		optL1 := math.NaN()
+		if opt, err := speccache.OptimalFlow(g, l); err == nil {
+			optL1 = opt.L1()
+		}
 
 		var moved float64
 		activations := 0

@@ -9,6 +9,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/sequential"
 	"repro/internal/sim"
+	"repro/internal/speccache"
 	"repro/internal/spectral"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -127,14 +128,14 @@ func E3ContinuousConvergence(o Options) *trace.Table {
 		epsilons = []float64{1e-3}
 	}
 	suite := fixedSuite(o.Quick)
-	// λ₂ is a full eigen-decomposition: compute it once per graph (in
-	// parallel), not once per (graph, ε) cell.
-	lambdas := make([]float64, len(suite))
-	o.sweep(len(suite), func(i int, _ *rand.Rand) { lambdas[i] = spectral.MustLambda2(suite[i]) })
+	// λ₂ is a full eigen-decomposition: the speccache computes it once per
+	// graph (deduplicating concurrent first requests across the pool), not
+	// once per (graph, ε) cell — and shares it with every other experiment
+	// and grid sweep in the process.
 	rows := make([]row, len(suite)*len(epsilons))
 	o.sweep(len(rows), func(i int, _ *rand.Rand) {
 		g, eps := suite[i/len(epsilons)], epsilons[i%len(epsilons)]
-		lambda2 := lambdas[i/len(epsilons)]
+		lambda2 := speccache.MustLambda2(g)
 		init := workload.Continuous(workload.Spike, g.N(), 1e9, nil)
 		st := diffusion.NewContinuous(g, init)
 		bound := diffusion.ContinuousBound(g, lambda2, eps)
@@ -156,7 +157,7 @@ func E4DiscreteConvergence(o Options) *trace.Table {
 	rows := make([]row, len(suite))
 	o.sweep(len(rows), func(i int, _ *rand.Rand) {
 		g := suite[i]
-		lambda2 := spectral.MustLambda2(g)
+		lambda2 := speccache.MustLambda2(g)
 		init := workload.Discrete(workload.Spike, g.N(), 1_000_000_000, nil)
 		st := diffusion.NewDiscrete(g, init)
 		phi0 := st.Potential()
@@ -290,14 +291,10 @@ func A3Rounding(o Options) *trace.Table {
 	}
 	modes := []string{"floor", "randomized"}
 	suite := fixedSuite(o.Quick)
-	thresholds := make([]float64, len(suite))
-	o.sweep(len(suite), func(i int, _ *rand.Rand) {
-		thresholds[i] = diffusion.DiscreteThreshold(suite[i], spectral.MustLambda2(suite[i]))
-	})
 	rows := make([]row, len(suite)*len(modes))
 	o.sweep(len(rows), func(ci int, rng *rand.Rand) {
 		g, mode := suite[ci/len(modes)], modes[ci%len(modes)]
-		thr := thresholds[ci/len(modes)]
+		thr := diffusion.DiscreteThreshold(g, speccache.MustLambda2(g))
 		tokens := workload.Discrete(workload.Spike, g.N(), 100_000_000, nil)
 		cur := append([]int64(nil), tokens...)
 		next := make([]int64, len(cur))

@@ -7,7 +7,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/graph"
 	"repro/internal/sim"
-	"repro/internal/spectral"
+	"repro/internal/speccache"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -46,7 +46,7 @@ func E19Interconnects(o Options) *trace.Table {
 	rows := make([]row, len(suite))
 	o.sweep(len(rows), func(i int, _ *rand.Rand) {
 		g := suite[i]
-		lambda2 := spectral.MustLambda2(g)
+		lambda2 := speccache.MustLambda2(g)
 		if lambda2 <= 0 {
 			return
 		}

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/diffusion"
 	"repro/internal/graph"
-	"repro/internal/spectral"
+	"repro/internal/speccache"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -71,11 +71,11 @@ func E18ContractionRate(o Options) *trace.Table {
 	rows := make([]row, len(suite))
 	o.sweep(len(rows), func(i int, _ *rand.Rand) {
 		g := suite[i]
-		lambda2 := spectral.MustLambda2(g)
+		lambda2 := speccache.MustLambda2(g)
 		guarantee := 1 - lambda2/(4*float64(g.MaxDegree()))
 
 		gammaP := math.NaN()
-		if gp, err := spectral.Gamma(spectral.PaperDiffusionMatrix(g)); err == nil {
+		if gp, err := speccache.PaperGamma(g); err == nil {
 			gammaP = gp * gp
 		}
 

@@ -11,9 +11,12 @@
 package graph
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync"
 
 	"repro/internal/matrix"
 )
@@ -50,6 +53,9 @@ type G struct {
 	adj   [][]int // sorted neighbour lists
 	edges []Edge  // canonical, sorted lexicographically
 	deg   []int
+
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Builder accumulates edges and produces an immutable G. Duplicate edges and
@@ -166,6 +172,30 @@ func (g *G) MinDegree() int {
 		}
 	}
 	return min
+}
+
+// Fingerprint returns a stable 64-bit structural hash of the graph: its
+// name, node count and full edge set. Two graphs with the same fingerprint
+// are interchangeable for caching purposes — internal/speccache keys its
+// memoized spectral quantities (λ₂, γ, optimal flows) on it, so randomized
+// families with colliding names but different edge sets never share an
+// entry. Computed lazily, exactly once, and safe for concurrent use (G is
+// immutable after Finish).
+func (g *G) Fingerprint() uint64 {
+	g.fpOnce.Do(func() {
+		h := fnv.New64a()
+		h.Write([]byte(g.name))
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(g.n))
+		h.Write(buf[:])
+		for _, e := range g.edges {
+			binary.LittleEndian.PutUint32(buf[:4], uint32(e.U))
+			binary.LittleEndian.PutUint32(buf[4:], uint32(e.V))
+			h.Write(buf[:])
+		}
+		g.fp = h.Sum64()
+	})
+	return g.fp
 }
 
 // HasEdge reports whether {u, v} is an edge.

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -372,5 +373,49 @@ func TestNeighborConsistencyProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	// Stable across calls and across identically-built instances.
+	a, b := Cycle(32), Cycle(32)
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical constructions disagree")
+	}
+	// Sensitive to structure: same name, different edges must differ.
+	b1 := NewBuilder("fp", 4)
+	b1.AddEdge(0, 1)
+	b1.AddEdge(2, 3)
+	b2 := NewBuilder("fp", 4)
+	b2.AddEdge(0, 2)
+	b2.AddEdge(1, 3)
+	if b1.MustFinish().Fingerprint() == b2.MustFinish().Fingerprint() {
+		t.Fatal("different edge sets share a fingerprint")
+	}
+	// Sensitive to name: same structure, different name must differ (names
+	// encode construction parameters the edge list may not reach, and the
+	// speccache key must separate them).
+	if Cycle(32).Fingerprint() == Cycle(32).Subgraph("renamed", func(Edge) bool { return true }).Fingerprint() {
+		t.Fatal("renamed graph shares a fingerprint")
+	}
+	// Concurrent first calls are safe (G is lazily fingerprinted).
+	g := Torus(8, 8)
+	var wg sync.WaitGroup
+	got := make([]uint64, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = g.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for _, v := range got {
+		if v != got[0] {
+			t.Fatal("concurrent fingerprint calls disagree")
+		}
 	}
 }

@@ -1,0 +1,296 @@
+// Package speccache memoizes the expensive per-topology spectral quantities
+// the rest of the system keeps asking for: λ₂ (the algebraic connectivity
+// behind every convergence bound), γ of the uniform diffusion matrix (the
+// second-order scheme's acceleration input), γ of the paper's diffusion
+// matrix, and the ℓ₂-minimal balancing flow of a load vector.
+//
+// All of these are pure functions of the graph (plus, for flows, the load
+// vector), and all of them cost an eigendecomposition or a Laplacian solve —
+// O(n³) for dense instances. A grid sweep asks for the same (topology, n)
+// values in every one of its units, and the experiment harness asks for them
+// again per experiment; before this package each call site hoisted its own
+// per-file copy. The cache is keyed on graph.G.Fingerprint (name + node
+// count + edge set), so distinct instances never collide and repeated
+// instances — across units, experiments and processes' worth of cells —
+// compute each quantity exactly once per process.
+//
+// Concurrency: lookups are safe from any number of goroutines, and
+// concurrent first requests for the same key are deduplicated (one computes,
+// the rest block on the result), which keeps parallel sweeps from burning
+// cores on redundant eigensolves. Values are memoized verbatim from
+// internal/spectral and internal/flow, so cached and uncached runs are
+// numerically identical.
+package speccache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/flow"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/spectral"
+)
+
+// quantity indexes the per-kind statistics counters.
+type quantity int
+
+const (
+	qLambda2 quantity = iota
+	qGamma
+	qPaperGamma
+	qFlow
+	numQuantities
+)
+
+func (q quantity) String() string {
+	switch q {
+	case qLambda2:
+		return "λ₂"
+	case qGamma:
+		return "γ"
+	case qPaperGamma:
+		return "γ_P"
+	case qFlow:
+		return "optflow"
+	}
+	return fmt.Sprintf("quantity(%d)", int(q))
+}
+
+// scalarKey identifies one memoized scalar: which quantity, of which graph.
+type scalarKey struct {
+	q  quantity
+	fp uint64
+}
+
+// flowKey identifies one memoized optimal flow: graph × load vector.
+type flowKey struct {
+	fp    uint64
+	loads uint64
+}
+
+// scalarEntry carries one value; once deduplicates concurrent first
+// computations without holding the cache lock during the eigensolve.
+type scalarEntry struct {
+	once sync.Once
+	val  float64
+	err  error
+}
+
+type flowEntry struct {
+	once sync.Once
+	val  *flow.EdgeFlow
+	err  error
+}
+
+// Cache memoizes spectral quantities per graph fingerprint. The zero value
+// is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	scalars map[scalarKey]*scalarEntry
+	flows   map[flowKey]*flowEntry
+
+	lookups  [numQuantities]atomic.Uint64
+	computes [numQuantities]atomic.Uint64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{
+		scalars: make(map[scalarKey]*scalarEntry),
+		flows:   make(map[flowKey]*flowEntry),
+	}
+}
+
+// shared is the process-wide cache used by the package-level helpers —
+// the one core.Balance, the batch engine's run functions and the experiment
+// harness all thread through, so a λ₂ computed for a grid unit is already
+// there when an experiment asks for the same topology.
+var shared = New()
+
+// Shared returns the process-wide cache.
+func Shared() *Cache { return shared }
+
+// scalar runs the common memoization path for one scalar quantity.
+func (c *Cache) scalar(q quantity, g *graph.G, compute func() (float64, error)) (float64, error) {
+	c.lookups[q].Add(1)
+	key := scalarKey{q: q, fp: g.Fingerprint()}
+	c.mu.Lock()
+	e, ok := c.scalars[key]
+	if !ok {
+		e = &scalarEntry{}
+		c.scalars[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.computes[q].Add(1)
+		e.val, e.err = compute()
+	})
+	return e.val, e.err
+}
+
+// Lambda2 returns the memoized algebraic connectivity of g (via
+// spectral.Lambda2 on a miss).
+func (c *Cache) Lambda2(g *graph.G) (float64, error) {
+	return c.scalar(qLambda2, g, func() (float64, error) { return spectral.Lambda2(g) })
+}
+
+// MustLambda2 is Lambda2 that panics on error; for graphs valid by
+// construction (the experiment suites).
+func (c *Cache) MustLambda2(g *graph.G) float64 {
+	v, err := c.Lambda2(g)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Gamma returns the memoized second-largest eigenvalue magnitude of the
+// uniform diffusion matrix of g — the quantity behind the second-order
+// scheme's optimal β.
+func (c *Cache) Gamma(g *graph.G) (float64, error) {
+	return c.scalar(qGamma, g, func() (float64, error) {
+		return spectral.Gamma(spectral.DiffusionMatrix(g))
+	})
+}
+
+// PaperGamma returns the memoized second-largest eigenvalue magnitude of
+// the paper's diffusion matrix (transfer rule 1/(4·max(dᵢ,dⱼ))).
+func (c *Cache) PaperGamma(g *graph.G) (float64, error) {
+	return c.scalar(qPaperGamma, g, func() (float64, error) {
+		return spectral.Gamma(spectral.PaperDiffusionMatrix(g))
+	})
+}
+
+// PaperEigenGap returns µ = 1 − γ_P for the paper's diffusion matrix,
+// derived from the memoized PaperGamma.
+func (c *Cache) PaperEigenGap(g *graph.G) (float64, error) {
+	gp, err := c.PaperGamma(g)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - gp, nil
+}
+
+// OptimalFlow returns the memoized ℓ₂-minimal balancing flow of load vector
+// l on g (via flow.Optimal on a miss). The returned flow is a private copy:
+// callers may mutate it freely without corrupting the cache.
+func (c *Cache) OptimalFlow(g *graph.G, l matrix.Vector) (*flow.EdgeFlow, error) {
+	c.lookups[qFlow].Add(1)
+	key := flowKey{fp: g.Fingerprint(), loads: hashLoads(l)}
+	c.mu.Lock()
+	e, ok := c.flows[key]
+	if !ok {
+		e = &flowEntry{}
+		c.flows[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		c.computes[qFlow].Add(1)
+		e.val, e.err = flow.Optimal(g, l)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	// The copy is bound to the caller's graph instance, not the one the
+	// value was first computed on: equal fingerprints guarantee identical
+	// edge lists, and flow operations (Sub, Divergence) compare graph
+	// pointers, so a cache hit across separately built suites must not leak
+	// the original instance.
+	out := flow.NewEdgeFlow(g)
+	copy(out.Values, e.val.Values)
+	return out, nil
+}
+
+// hashLoads folds a load vector's exact bit pattern into the flow cache key.
+func hashLoads(l matrix.Vector) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range l {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Reset drops every memoized value and zeroes the statistics. Intended for
+// tests and for processes that rebuild topologies wholesale (e.g. long
+// dynamic-network runs that never revisit a graph).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.scalars = make(map[scalarKey]*scalarEntry)
+	c.flows = make(map[flowKey]*flowEntry)
+	c.mu.Unlock()
+	for q := quantity(0); q < numQuantities; q++ {
+		c.lookups[q].Store(0)
+		c.computes[q].Store(0)
+	}
+}
+
+// QuantityStats counts one quantity's cache traffic.
+type QuantityStats struct {
+	// Computes is how many times the quantity was actually computed (cache
+	// misses); Hits is how many lookups were served from memory.
+	Computes, Hits uint64
+}
+
+// Stats is a point-in-time snapshot of the cache's effectiveness, one entry
+// per memoized quantity.
+type Stats struct {
+	Lambda2     QuantityStats
+	Gamma       QuantityStats
+	PaperGamma  QuantityStats
+	OptimalFlow QuantityStats
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	snap := func(q quantity) QuantityStats {
+		lookups, computes := c.lookups[q].Load(), c.computes[q].Load()
+		return QuantityStats{Computes: computes, Hits: lookups - computes}
+	}
+	return Stats{
+		Lambda2:     snap(qLambda2),
+		Gamma:       snap(qGamma),
+		PaperGamma:  snap(qPaperGamma),
+		OptimalFlow: snap(qFlow),
+	}
+}
+
+// String renders the snapshot as one human-readable line.
+func (s Stats) String() string {
+	part := func(name string, q QuantityStats) string {
+		return fmt.Sprintf("%s %d computed/%d hits", name, q.Computes, q.Hits)
+	}
+	return part("λ₂", s.Lambda2) + ", " + part("γ", s.Gamma) + ", " +
+		part("γ_P", s.PaperGamma) + ", " + part("optflow", s.OptimalFlow)
+}
+
+// Package-level helpers against the shared cache, so hot call sites read as
+// plainly as the spectral calls they replace.
+
+// Lambda2 is Shared().Lambda2.
+func Lambda2(g *graph.G) (float64, error) { return shared.Lambda2(g) }
+
+// MustLambda2 is Shared().MustLambda2.
+func MustLambda2(g *graph.G) float64 { return shared.MustLambda2(g) }
+
+// Gamma is Shared().Gamma.
+func Gamma(g *graph.G) (float64, error) { return shared.Gamma(g) }
+
+// PaperGamma is Shared().PaperGamma.
+func PaperGamma(g *graph.G) (float64, error) { return shared.PaperGamma(g) }
+
+// PaperEigenGap is Shared().PaperEigenGap.
+func PaperEigenGap(g *graph.G) (float64, error) { return shared.PaperEigenGap(g) }
+
+// OptimalFlow is Shared().OptimalFlow.
+func OptimalFlow(g *graph.G, l matrix.Vector) (*flow.EdgeFlow, error) {
+	return shared.OptimalFlow(g, l)
+}
