@@ -1,10 +1,12 @@
 # Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs the
-# same build, vet, gofmt, race-test and benchmark-smoke steps the workflow
-# does, so a green `make ci` means a green PR.
+# same build, vet, gofmt, staticcheck, race-test, benchmark-smoke and
+# shard/resume smoke steps the workflow does, so a green `make ci` means a
+# green PR. (staticcheck is skipped with a warning when the binary is not
+# installed; CI installs it pinned.)
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench grid-smoke resume-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench grid-smoke resume-smoke shard-merge-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,6 +24,13 @@ fmt-check:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed — skipping (CI runs it via honnef.co/go/tools@2023.1.7)" >&2; \
 	fi
 
 bench:
@@ -51,4 +60,31 @@ resume-smoke:
 	/tmp/lbbench $(RESUME_ARGS) -resume /tmp/lbbench-cells.jsonl -out /tmp/lbbench-cells.jsonl > /tmp/lbbench-resumed.csv
 	cmp /tmp/lbbench-full.csv /tmp/lbbench-resumed.csv
 
-ci: build vet fmt-check test bench grid-smoke resume-smoke
+SHARD_ARGS = -grid -topos cycle,torus,hypercube,star,complete,path \
+	-algos diffusion,dimexchange,randpair -modes continuous,discrete \
+	-loads spike,uniform -n 160 -seeds 1,2,3 -eps 1e-5 -parallel 4 -format csv
+
+shard-merge-smoke:
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	rm -f /tmp/lbbench-s0.jsonl /tmp/lbbench-s1.jsonl /tmp/lbbench-s2.jsonl
+	/tmp/lbbench $(SHARD_ARGS) > /tmp/lbbench-shard-full.csv
+	/tmp/lbbench $(SHARD_ARGS) -stream-agg > /tmp/lbbench-shard-fullagg.csv
+	/tmp/lbbench $(SHARD_ARGS) -shard 0/3 -out /tmp/lbbench-s0.jsonl > /dev/null & \
+	p0=$$!; \
+	/tmp/lbbench $(SHARD_ARGS) -shard 1/3 -out /tmp/lbbench-s1.jsonl > /dev/null & \
+	p1=$$!; \
+	/tmp/lbbench $(SHARD_ARGS) -shard 2/3 -out /tmp/lbbench-s2.jsonl > /dev/null & \
+	p2=$$!; \
+	for i in $$(seq 1 600); do \
+		{ [ -f /tmp/lbbench-s2.jsonl ] && [ "$$(wc -l < /tmp/lbbench-s2.jsonl)" -ge 20 ]; } && break; \
+		kill -0 $$p2 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	kill -INT $$p2 2>/dev/null; wait $$p2 || true; wait $$p0; wait $$p1
+	/tmp/lbbench $(SHARD_ARGS) -shard 2/3 -resume /tmp/lbbench-s2.jsonl -out /tmp/lbbench-s2.jsonl > /dev/null
+	/tmp/lbbench $(SHARD_ARGS) -merge /tmp/lbbench-s0.jsonl,/tmp/lbbench-s1.jsonl,/tmp/lbbench-s2.jsonl > /tmp/lbbench-merged.csv
+	cmp /tmp/lbbench-shard-full.csv /tmp/lbbench-merged.csv
+	/tmp/lbbench $(SHARD_ARGS) -merge /tmp/lbbench-s0.jsonl,/tmp/lbbench-s1.jsonl,/tmp/lbbench-s2.jsonl -stream-agg > /tmp/lbbench-mergedagg.csv
+	cmp /tmp/lbbench-shard-fullagg.csv /tmp/lbbench-mergedagg.csv
+
+ci: build vet fmt-check staticcheck test bench grid-smoke resume-smoke shard-merge-smoke

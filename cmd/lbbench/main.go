@@ -38,6 +38,28 @@
 // only the missing or failed ones, and emits a report byte-identical to an
 // uninterrupted run. -cache-stats reports the shared spectral cache's hit
 // counts.
+//
+// Sharded sweeps (grids too large for one process or one machine):
+//
+//	lbbench -grid ... -shard 0/3 -out s0.jsonl    # three processes,
+//	lbbench -grid ... -shard 1/3 -out s1.jsonl    # each owning every
+//	lbbench -grid ... -shard 2/3 -out s2.jsonl    # third unit
+//	lbbench -grid ... -merge s0.jsonl,s1.jsonl,s2.jsonl -format csv
+//
+// -shard i/m runs only the units whose expansion index is ≡ i (mod m), so
+// the m shards are disjoint and exhaustive; a dead shard resumes with its
+// own journal (-shard 2/3 -resume s2.jsonl -out s2.jsonl). -merge validates
+// the per-shard journals (same grid, no overlapping units) and reassembles
+// them into a report byte-identical to a single-process sweep, re-running
+// any units still missing. -shard also applies to experiment mode: each
+// shard process emits its owned subset of every experiment's rows.
+//
+// -stream-agg switches to streaming-only aggregation: per-grid-cell
+// aggregates and per-dimension marginals are folded incrementally as cells
+// arrive (from the live sweep, or from -merge'd journals without re-running
+// anything), so memory stays independent of the unit count — no per-cell
+// table is materialized or printed. Set LB_SPECCACHE_DIR to let concurrent
+// shard processes share eigensolves through a disk spectral-cache spill.
 package main
 
 import (
@@ -81,6 +103,9 @@ func main() {
 
 		out        = flag.String("out", "", "grid: stream finished cells to this JSONL journal (resumable with -resume)")
 		resume     = flag.String("resume", "", "grid: replay completed cells from this JSONL journal, re-run only the rest")
+		shard      = flag.String("shard", "", "run only shard i of m, format i/m (grid sweeps and experiment sweeps)")
+		merge      = flag.String("merge", "", "grid: comma-separated per-shard JSONL journals to merge into one report (instead of -resume)")
+		streamAgg  = flag.Bool("stream-agg", false, "grid: streaming-only aggregation — fold aggregates and per-dimension marginals incrementally, never materializing cells")
 		cacheStats = flag.Bool("cache-stats", false, "print shared spectral-cache statistics to stderr on exit")
 	)
 	flag.Parse()
@@ -91,15 +116,22 @@ func main() {
 		}
 		return
 	}
+	shardI, shardM, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		os.Exit(2)
+	}
 	var code int
-	if *grid {
+	if *grid || *merge != "" {
 		code = runGrid(gridFlags{
 			topos: *topos, algos: *algos, modes: *modes, loads: *loads,
 			seeds: *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
 			workers: *parallel, format: *format, out: *out, resume: *resume,
+			shardI: shardI, shardM: shardM, merge: *merge,
+			streamAgg: *streamAgg, gridSet: *grid,
 		})
 	} else {
-		code = runExperiments(*exp, *seed, *quick, *csv, *parallel)
+		code = runExperiments(*exp, *seed, *quick, *csv, *parallel, shardI, shardM)
 	}
 	if *cacheStats {
 		fmt.Fprintf(os.Stderr, "lbbench: speccache: %s\n", speccache.Shared().Stats())
@@ -108,7 +140,7 @@ func main() {
 }
 
 // runExperiments is the classic per-experiment table mode.
-func runExperiments(exp string, seed int64, quick, csv bool, workers int) int {
+func runExperiments(exp string, seed int64, quick, csv bool, workers, shardI, shardM int) int {
 	var ids []string
 	if exp == "all" {
 		ids = experiments.IDs()
@@ -130,7 +162,10 @@ func runExperiments(exp string, seed int64, quick, csv bool, workers int) int {
 		return 2
 	}
 
-	opts := experiments.Options{Seed: seed, Quick: quick, Workers: workers}
+	opts := experiments.Options{
+		Seed: seed, Quick: quick, Workers: workers,
+		ShardIndex: shardI, ShardCount: shardM,
+	}
 	for _, id := range ids {
 		runner, _ := experiments.Lookup(id)
 		start := time.Now()
@@ -159,12 +194,20 @@ type gridFlags struct {
 	n                                 int
 	scale, eps                        float64
 	rounds, workers                   int
-	format, out, resume               string
+	format, out, resume, merge        string
+	shardI, shardM                    int
+	streamAgg                         bool
+	// gridSet records whether -grid was given explicitly (a bare -merge
+	// renders from the journals' own headers, without trusting the grid
+	// flags' defaults).
+	gridSet bool
 }
 
 // runGrid expands and executes one declarative sweep through the batch
-// engine — streaming cells to the -out journal, replaying the -resume
-// journal — and emits the aggregated report.
+// engine — restricted to its -shard slice, streaming cells to the -out
+// journal, replaying the -resume journal or the -merge'd shard journals —
+// and emits the aggregated report (classic, or streaming-only aggregates
+// with -stream-agg).
 func runGrid(f gridFlags) int {
 	seedList, err := parseSeeds(f.seeds)
 	if err != nil {
@@ -183,6 +226,13 @@ func runGrid(f gridFlags) int {
 		MaxRounds:  f.rounds,
 		Workers:    f.workers,
 	}
+	if f.shardM > 0 {
+		spec, err = spec.Shard(f.shardI, f.shardM)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return 2
+		}
+	}
 	// A typo'd -format must not cost a full sweep: reject it before running,
 	// not when rendering.
 	switch f.format {
@@ -191,24 +241,67 @@ func runGrid(f gridFlags) int {
 		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", f.format)
 		return 2
 	}
-	// When journal files are at stake, fail on anything the engine would
-	// reject — bad dimensions, unknown algorithms, unbuildable topologies —
-	// before touching them: -out truncates, and a partial journal must
-	// survive a typo'd resume invocation. (Without journal flags the engine
-	// reports the same errors itself, so the topologies are not built
-	// twice for nothing.)
-	if f.out != "" || f.resume != "" {
-		if err := core.ValidateGridSpec(spec); err != nil {
+	mergePaths := splitList(f.merge)
+	if len(mergePaths) > 0 && f.resume != "" {
+		fmt.Fprintln(os.Stderr, "lbbench: -merge and -resume are mutually exclusive (a merge already replays every journal)")
+		return 2
+	}
+
+	// -merge -stream-agg is the pure render path: fold the shard journals'
+	// cells straight into the incremental aggregator and print the summary.
+	// Nothing runs, no cell materializes — memory is one buffered cell per
+	// journal plus the aggregates themselves.
+	if f.streamAgg && len(mergePaths) > 0 {
+		return renderMergedAggregates(spec, mergePaths, f)
+	}
+
+	// The -resume/-merge journals are read fully before -out is opened, so
+	// resuming in place (-resume X -out X) reads the partial journal and
+	// then rewrites it complete.
+	var journal *batch.Journal
+	switch {
+	case len(mergePaths) > 0:
+		j, stats, err := batch.ReadMergedJournals(mergePaths...)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 			return 2
 		}
-	}
-
-	// The -resume journal is read fully before -out is opened, so resuming
-	// in place (-resume X -out X) reads the partial journal and then
-	// rewrites it complete.
-	var journal *batch.Journal
-	if f.resume != "" {
+		if stats.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "lbbench: merge: dropped %d corrupt/truncated line(s); those units will re-run\n", stats.Dropped)
+		}
+		switch {
+		case !f.gridSet:
+			// A bare -merge sweeps the journals' own grid. The flag spec is
+			// all defaults here; silently resuming *that* grid would emit a
+			// figure the user never swept, so derive the spec from the
+			// headers (already validated mutually consistent by the merge)
+			// instead.
+			if len(j.Specs) == 0 {
+				fmt.Fprintln(os.Stderr, "lbbench: merged journals carry no spec headers — pass -grid with the sweep's flags to name the grid")
+				return 2
+			}
+			hdr := j.Specs[0]
+			hdr.ShardIndex, hdr.ShardCount = 0, 0
+			hdr.Workers = f.workers
+			if f.shardM > 0 {
+				if hdr, err = hdr.Shard(f.shardI, f.shardM); err != nil {
+					fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+					return 2
+				}
+			}
+			spec = hdr
+		case len(j.Specs) > 0:
+			// Explicit -grid flags must name the journals' grid exactly —
+			// dimensions and seeds included, not just run parameters, since
+			// a same-parameter different-dimension resume would silently
+			// drop every journal cell outside the flag grid.
+			if err := batch.SameGrid(spec, j.Specs[0]); err != nil {
+				fmt.Fprintf(os.Stderr, "lbbench: merge: journals do not match the -grid flags: %v\n", err)
+				return 2
+			}
+		}
+		journal = j
+	case f.resume != "":
 		j, err := batch.ReadJournalFile(f.resume)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
@@ -225,15 +318,32 @@ func runGrid(f gridFlags) int {
 		}
 		journal = j
 	}
-	var sink batch.Sink
+
+	// When journal files are at stake, fail on anything the engine would
+	// reject — bad dimensions, unknown algorithms, unbuildable topologies —
+	// before touching them: -out truncates next, and a partial journal must
+	// survive a typo'd resume invocation. (Without journal flags the engine
+	// reports the same errors itself, so the topologies are not built twice
+	// for nothing.) Runs after the merge/resume reads so a header-derived
+	// spec is validated too.
+	if f.out != "" || f.resume != "" || len(mergePaths) > 0 || f.streamAgg {
+		if err := core.ValidateGridSpec(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return 2
+		}
+	}
+
+	var js *batch.JSONLSink
 	if f.out != "" {
-		js, err := batch.CreateJSONL(f.out)
+		var err error
+		js, err = batch.CreateJSONL(f.out)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 			return 2
 		}
+		// Error paths below exit non-zero anyway; the success paths close
+		// explicitly so a failed fsync can fail the run.
 		defer js.Close()
-		sink = js
 	}
 
 	// SIGINT/SIGTERM cancel the sweep instead of killing the process:
@@ -249,6 +359,14 @@ func runGrid(f gridFlags) int {
 		stop()
 	}()
 
+	if f.streamAgg {
+		return runGridStream(ctx, spec, journal, js, f)
+	}
+
+	var sink batch.Sink
+	if js != nil {
+		sink = js
+	}
 	report, runErr := core.BalanceGridResume(ctx, spec, journal, sink)
 	if report == nil {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", runErr)
@@ -265,9 +383,6 @@ func runGrid(f gridFlags) int {
 		err = report.RenderCSV(os.Stdout)
 	case "json":
 		err = report.RenderJSON(os.Stdout)
-	default:
-		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", f.format)
-		return 2
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbbench: rendering grid report: %v\n", err)
@@ -285,12 +400,144 @@ func runGrid(f gridFlags) int {
 		}
 		return 3
 	}
+	if code := closeJournal(js, f.out); code != 0 {
+		return code
+	}
 	// Any failed unit means the emitted figure has holes: scripts checking
 	// the exit status must not mistake a partial sweep for a complete one.
 	if report.Failed() > 0 {
 		return 1
 	}
 	return 0
+}
+
+// closeJournal closes the -out journal on the success paths, surfacing the
+// fsync-and-close error in the exit code: a shard whose final lines never
+// reached the platter must not report success for the merger to trust.
+// (nil when there is no journal; the deferred double Close is a no-op whose
+// error is deliberately discarded.)
+func closeJournal(js *batch.JSONLSink, path string) int {
+	if js == nil {
+		return 0
+	}
+	if err := js.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: journal %s: %v — journal may be torn; re-run or resume before merging\n", path, err)
+		return 3
+	}
+	return 0
+}
+
+// runGridStream executes the sweep through the streaming engine path: cells
+// flow to the journal sink and the incremental aggregator only, never into
+// an in-process report.
+func runGridStream(ctx context.Context, spec batch.Spec, journal *batch.Journal, js *batch.JSONLSink, f gridFlags) int {
+	agg := batch.NewAggSink()
+	var sink batch.Sink = agg
+	if js != nil {
+		sink = batch.MultiSink{js, agg}
+	}
+	runErr := core.BalanceGridStream(ctx, spec, journal, sink)
+	rep := agg.Report()
+	if code := renderAggReport(rep, f.format); code != 0 {
+		return code
+	}
+	fmt.Fprintf(os.Stderr, "lbbench: %d units (%d failed) folded, streaming\n", rep.Units, rep.Failed)
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) && f.out != "" {
+			fmt.Fprintf(os.Stderr, "lbbench: interrupted — resume with: lbbench -grid ... -resume %s -out %s\n", f.out, f.out)
+		} else {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", runErr)
+		}
+		return 3
+	}
+	if code := closeJournal(js, f.out); code != 0 {
+		return code
+	}
+	if rep.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// renderMergedAggregates is the -merge -stream-agg path: validate and fold
+// the shard journals into the aggregator and render, re-running nothing.
+func renderMergedAggregates(spec batch.Spec, paths []string, f gridFlags) int {
+	agg := batch.NewAggSink()
+	stats, err := batch.MergeJournals(agg, paths...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		return 2
+	}
+	rep := agg.Report()
+	// With -grid given explicitly the flags must name the journals' grid —
+	// dimensions and seeds included, not just run parameters. A bare -merge
+	// trusts the headers (headerless journals have nothing to check).
+	if f.gridSet && len(rep.Spec.Topologies) > 0 {
+		if err := batch.SameGrid(spec, rep.Spec); err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: merge: journals do not match the -grid flags: %v\n", err)
+			return 2
+		}
+	}
+	if code := renderAggReport(rep, f.format); code != 0 {
+		return code
+	}
+	if stats.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "lbbench: merge: dropped %d corrupt/truncated line(s)\n", stats.Dropped)
+	}
+	fmt.Fprintf(os.Stderr, "lbbench: merged %d journals: %d units (%d failed, %d missing)\n",
+		stats.Journals, rep.Units, rep.Failed, rep.Missing())
+	if rep.Missing() > 0 {
+		if shards := agg.MissingShards(); len(shards) > 0 {
+			fmt.Fprintf(os.Stderr, "lbbench: shard(s) %v never merged in\n", shards)
+		}
+		fmt.Fprintf(os.Stderr, "lbbench: merge is incomplete — resume the missing shard(s), or run -merge without -stream-agg to re-run the gaps\n")
+		return 1
+	}
+	if rep.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// renderAggReport prints a streaming aggregate report in the chosen format.
+func renderAggReport(rep *batch.AggReport, format string) int {
+	var err error
+	switch format {
+	case "table":
+		err = rep.Table().Render(os.Stdout)
+		if err == nil {
+			err = rep.MarginalTable().Render(os.Stdout)
+		}
+	case "csv":
+		err = rep.RenderCSV(os.Stdout)
+	case "json":
+		err = rep.RenderJSON(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: rendering aggregate report: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// parseShard parses the -shard i/m value ("" means unsharded).
+func parseShard(s string) (i, m int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.SplitN(s, "/", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/m, e.g. 0/3)", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	m, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/m, e.g. 0/3)", s)
+	}
+	if m <= 0 || i < 0 || i >= m {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0, m)", s)
+	}
+	return i, m, nil
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.

@@ -13,10 +13,16 @@
 // one-line-per-cell journal on disk, MultiSink to fan out. JSONL journals
 // are the unit of crash recovery: Resume replays a journal's completed
 // unit Keys and re-enqueues only the missing or failed cells, merging old
-// and new into a report byte-identical to an uninterrupted run. (The
-// in-process Report still materializes every cell — O(units) memory; the
-// journal is the durable record that makes long sweeps restartable, and
-// journals from sharded sweeps concatenate for a single resumed merge.)
+// and new into a report byte-identical to an uninterrupted run.
+//
+// Sweeps shard across processes: Spec.Shard(i, m) restricts a run to the
+// units whose expansion index is ≡ i (mod m) — disjoint and exhaustive by
+// construction — and MergeJournals k-way-merges the m per-shard journals
+// back into the exact global expansion order, failing loudly on overlap or
+// grid mismatch. For grids whose cells must never materialize (the classic
+// Report is O(units) memory), RunStream + AggSink fold per-cell statistics
+// incrementally — bit-identical to the Report's aggregates — straight from
+// the live stream or from merged journals.
 //
 // The package is deliberately algorithm-agnostic: a RunFunc executes one
 // unit, so the engine never imports internal/core (which wires it up as
@@ -60,9 +66,43 @@ type Spec struct {
 	// MaxRounds caps each run (0 lets the runner pick its theorem-derived
 	// default).
 	MaxRounds int `json:"max_rounds,omitempty"`
+	// ShardIndex/ShardCount restrict a run to one deterministic slice of the
+	// expansion: unit u belongs to shard i of m iff u.Index % m == i, so the
+	// m shards are disjoint and exhaustive by construction. ShardCount ≤ 1
+	// means unsharded. Set them through Shard; they are recorded in journal
+	// headers so a merger can tell which slice each journal covers.
+	ShardIndex int `json:"shard_index,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
 	// Workers sets the pool width (≤ 0 selects GOMAXPROCS). It affects
 	// scheduling only: results are identical for any value.
 	Workers int `json:"-"`
+}
+
+// Shard returns a copy of s restricted to shard i of m. The assignment
+// partitions by expansion index (round-robin), so the m shard specs together
+// cover every unit exactly once — run each in its own process with its own
+// journal, then MergeJournals the results. Shards may be empty when m
+// exceeds the unit count; an empty shard runs nothing and journals only its
+// header, which merges cleanly.
+func (s Spec) Shard(i, m int) (Spec, error) {
+	if m <= 0 {
+		return Spec{}, fmt.Errorf("batch: shard count %d must be positive", m)
+	}
+	if i < 0 || i >= m {
+		return Spec{}, fmt.Errorf("batch: shard index %d out of range [0, %d)", i, m)
+	}
+	s.ShardIndex, s.ShardCount = i, m
+	return s, nil
+}
+
+// ShardOwns reports whether expansion index idx belongs to shard i of m —
+// the single assignment rule shared by the engine's unit filter and every
+// other harness (the experiments suite) that fans work out by index.
+func ShardOwns(idx, i, m int) bool {
+	if m <= 1 {
+		return true
+	}
+	return idx%m == i
 }
 
 // withDefaults fills the documented defaults without mutating the receiver.
@@ -133,6 +173,9 @@ func (s Spec) Validate() error {
 // seed — the last dimension varying fastest).
 func Expand(spec Spec) ([]Unit, error) {
 	spec = spec.withDefaults()
+	if err := spec.validShard(); err != nil {
+		return nil, err
+	}
 	topos, err := normalize("topology", spec.Topologies)
 	if err != nil {
 		return nil, err
@@ -194,6 +237,55 @@ func Expand(spec Spec) ([]Unit, error) {
 		return nil, fmt.Errorf("batch: empty grid (every dimension needs at least one entry)")
 	}
 	return units, nil
+}
+
+// validShard rejects shard fields set inconsistently (bypassing Shard).
+func (s Spec) validShard() error {
+	switch {
+	case s.ShardCount < 0:
+		return fmt.Errorf("batch: negative shard count %d", s.ShardCount)
+	case s.ShardCount == 0 && s.ShardIndex != 0:
+		return fmt.Errorf("batch: shard index %d without a shard count", s.ShardIndex)
+	case s.ShardCount > 0 && (s.ShardIndex < 0 || s.ShardIndex >= s.ShardCount):
+		return fmt.Errorf("batch: shard index %d out of range [0, %d)", s.ShardIndex, s.ShardCount)
+	}
+	return nil
+}
+
+// unitCount is the size of the full expansion (every dimension length
+// multiplied out), computable without building the units.
+func (s Spec) unitCount() int {
+	s = s.withDefaults()
+	return len(s.Topologies) * len(s.Algorithms) * len(s.Modes) * len(s.Workloads) * len(s.Seeds)
+}
+
+// ownedUnitCount is how many of the expansion's units this spec's shard
+// owns (the full count when unsharded).
+func (s Spec) ownedUnitCount() int {
+	total := s.unitCount()
+	if s.ShardCount <= 1 {
+		return total
+	}
+	n := total / s.ShardCount
+	if s.ShardIndex < total%s.ShardCount {
+		n++
+	}
+	return n
+}
+
+// ownedUnits filters units down to the receiver's shard. Unsharded specs
+// keep the slice as-is.
+func (s Spec) ownedUnits(units []Unit) []Unit {
+	if s.ShardCount <= 1 {
+		return units
+	}
+	mine := make([]Unit, 0, s.ownedUnitCount())
+	for _, u := range units {
+		if ShardOwns(u.Index, s.ShardIndex, s.ShardCount) {
+			mine = append(mine, u)
+		}
+	}
+	return mine
 }
 
 // normalize lowercases and trims a dimension's entries and rejects empties

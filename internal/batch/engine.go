@@ -91,17 +91,55 @@ func RunContext(ctx context.Context, spec Spec, run RunFunc) (*Report, error) {
 // even when ctx fires or the sink errors, alongside the corresponding error,
 // so callers always have the partial results the journal also recorded.
 func RunSink(ctx context.Context, spec Spec, run RunFunc, sink Sink) (*Report, error) {
-	return runSink(ctx, spec, run, sink, nil)
+	return runSink(ctx, spec, run, sink, nil, true)
+}
+
+// RunStream is RunSink without the in-process Report: cells go to sink only,
+// so the run's memory footprint is independent of the unit count (the
+// sequencer's bounded lookahead window is all that is ever buffered). Pair it
+// with an AggSink — which folds aggregates incrementally — to render a
+// summary of a grid too large to hold cell-by-cell in RAM. sink is required.
+func RunStream(ctx context.Context, spec Spec, run RunFunc, sink Sink) error {
+	_, err := runSink(ctx, spec, run, sink, nil, false)
+	return err
+}
+
+// ResumeStream is Resume without the in-process Report — the streaming
+// counterpart for resumed sweeps. (The replay index itself holds one key and
+// outcome per journaled unit; the cells never materialize.)
+func ResumeStream(ctx context.Context, spec Spec, run RunFunc, journal *Journal, sink Sink) error {
+	if sink == nil {
+		return fmt.Errorf("batch: ResumeStream needs a sink")
+	}
+	if journal == nil {
+		return RunStream(ctx, spec, run, sink)
+	}
+	if err := journal.CheckSpec(spec); err != nil {
+		return err
+	}
+	_, err := runSink(ctx, spec, run, sink, journal.replay(), false)
+	return err
 }
 
 // runSink is the engine body shared by fresh runs and resumes: replay maps
-// unit Keys to journaled outcomes that are adopted instead of re-run.
-func runSink(ctx context.Context, spec Spec, run RunFunc, sink Sink, replay map[string]Outcome) (*Report, error) {
+// unit Keys to journaled outcomes that are adopted instead of re-run. When
+// collect is false no cells are retained and the returned report is nil —
+// the streaming path for grids whose cells must not accumulate in memory.
+func runSink(ctx context.Context, spec Spec, run RunFunc, sink Sink, replay map[string]Outcome, collect bool) (*Report, error) {
 	spec = spec.withDefaults()
 	units, err := Expand(spec)
 	if err != nil {
 		return nil, err
 	}
+	if !collect && sink == nil {
+		return nil, fmt.Errorf("batch: streaming run needs a sink")
+	}
+	// A sharded spec runs (and reports, and journals) only its own slice of
+	// the expansion; the slice preserves expansion order, so the sequencer
+	// still delivers a deterministic stream and the journal's indices are
+	// monotonic — what lets MergeJournals interleave shard journals back
+	// into global expansion order.
+	units = spec.ownedUnits(units)
 	graphs, err := BuildGraphs(spec)
 	if err != nil {
 		return nil, err
@@ -123,7 +161,10 @@ func runSink(ctx context.Context, spec Spec, run RunFunc, sink Sink, replay map[
 	defer cancel()
 
 	start := time.Now()
-	cells := make([]Cell, len(units))
+	var cells []Cell
+	if collect {
+		cells = make([]Cell, len(units))
+	}
 	var seq *sequencer
 	if sink != nil {
 		seq = newSequencer(sink, cancel, sinkLookahead(spec.Workers))
@@ -133,18 +174,23 @@ func runSink(ctx context.Context, spec Spec, run RunFunc, sink Sink, replay map[
 			seq.acquire(i)
 		}
 		c := execUnit(ctx, spec, units[i], graphs[units[i].Topology], run, replay)
-		cells[i] = c
+		if collect {
+			cells[i] = c
+		}
 		if seq != nil {
 			seq.deliver(i, c)
 		}
 	})
 
-	rep := &Report{
-		Spec:    spec,
-		Cells:   cells,
-		Elapsed: time.Since(start),
+	var rep *Report
+	if collect {
+		rep = &Report{
+			Spec:    spec,
+			Cells:   cells,
+			Elapsed: time.Since(start),
+		}
+		rep.aggregate()
 	}
-	rep.aggregate()
 	if seq != nil && seq.err != nil {
 		return rep, seq.err
 	}

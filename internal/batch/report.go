@@ -82,6 +82,53 @@ func (r *Report) Failed() int {
 	return n
 }
 
+// fold accumulates one cell into the aggregate's running sums. Until
+// finalize runs, the Mean*/SD* fields hold plain sums (of rounds, squared
+// rounds, bound ratios, RMS values) — the same incremental representation
+// AggSink maintains cell by cell, so the streaming path and the
+// materialized Report share one arithmetic sequence and produce bit-equal
+// statistics.
+func (a *Aggregate) fold(c Cell) {
+	a.Runs++
+	if c.Err != "" {
+		a.Failed++
+		return
+	}
+	if c.Converged {
+		a.Converged++
+	}
+	// Streaming mean/variance would be scheduling-sensitive only if the
+	// cell order were; it is not — cells arrive in expansion order.
+	a.MeanRounds += float64(c.Rounds)
+	a.SDRounds += float64(c.Rounds) * float64(c.Rounds)
+	if c.Bound > 0 {
+		a.MeanBoundRatio += c.BoundRatio
+		a.bounded++
+	}
+	a.MeanRMS += c.RMSDiscrepancy
+}
+
+// finalize converts the running sums into the published statistics.
+func (a *Aggregate) finalize() {
+	ok := a.Runs - a.Failed
+	if ok == 0 {
+		a.MeanRounds, a.SDRounds, a.MeanBoundRatio, a.MeanRMS = 0, 0, 0, 0
+		return
+	}
+	n := float64(ok)
+	sum, sumSq := a.MeanRounds, a.SDRounds
+	a.MeanRounds = sum / n
+	variance := sumSq/n - a.MeanRounds*a.MeanRounds
+	if variance < 0 {
+		variance = 0
+	}
+	a.SDRounds = math.Sqrt(variance)
+	if a.bounded > 0 {
+		a.MeanBoundRatio /= float64(a.bounded)
+	}
+	a.MeanRMS /= n
+}
+
 // aggregate groups cells by CellKey in first-seen (expansion) order.
 func (r *Report) aggregate() {
 	index := map[string]int{}
@@ -98,44 +145,10 @@ func (r *Report) aggregate() {
 				Workload:  c.WorkloadName,
 			})
 		}
-		a := &r.Aggregates[i]
-		a.Runs++
-		if c.Err != "" {
-			a.Failed++
-			continue
-		}
-		if c.Converged {
-			a.Converged++
-		}
-		// Streaming mean/variance would be scheduling-sensitive only if the
-		// cell order were; it is not — cells sit in expansion order.
-		a.MeanRounds += float64(c.Rounds)
-		a.SDRounds += float64(c.Rounds) * float64(c.Rounds)
-		if c.Bound > 0 {
-			a.MeanBoundRatio += c.BoundRatio
-			a.bounded++
-		}
-		a.MeanRMS += c.RMSDiscrepancy
+		r.Aggregates[i].fold(c)
 	}
 	for i := range r.Aggregates {
-		a := &r.Aggregates[i]
-		ok := a.Runs - a.Failed
-		if ok == 0 {
-			a.MeanRounds, a.SDRounds, a.MeanBoundRatio, a.MeanRMS = 0, 0, 0, 0
-			continue
-		}
-		n := float64(ok)
-		sum, sumSq := a.MeanRounds, a.SDRounds
-		a.MeanRounds = sum / n
-		variance := sumSq/n - a.MeanRounds*a.MeanRounds
-		if variance < 0 {
-			variance = 0
-		}
-		a.SDRounds = math.Sqrt(variance)
-		if a.bounded > 0 {
-			a.MeanBoundRatio /= float64(a.bounded)
-		}
-		a.MeanRMS /= n
+		r.Aggregates[i].finalize()
 	}
 }
 

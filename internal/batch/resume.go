@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -37,24 +36,22 @@ func ReadJournal(r io.Reader) (*Journal, error) {
 	for {
 		line, readErr := br.ReadBytes('\n')
 		if t := bytes.TrimSpace(line); len(t) > 0 {
-			// A header is distinguishable by its "spec" key, which a cell
-			// line never has. Headers are recognized anywhere, not just on
-			// line one: concatenated shard journals carry one per shard, and
-			// every one of them must reach CheckSpec (a mid-file header
-			// misread as a Cell would both bypass the parameter check and
-			// inject a phantom zero-value cell).
-			var h specHeader
-			if json.Unmarshal(t, &h) == nil && h.Spec != nil {
-				j.Specs = append(j.Specs, *h.Spec)
-				continue
-			}
-			var c Cell
-			if json.Unmarshal(t, &c) != nil {
+			// Headers are recognized anywhere, not just on line one:
+			// concatenated shard journals carry one per shard, and every one
+			// of them must reach CheckSpec (a mid-file header misread as a
+			// Cell would both bypass the parameter check and inject a
+			// phantom zero-value cell).
+			header, c, perr := parseJournalLine(t)
+			switch {
+			case perr != nil:
 				j.Dropped++
 				j.Dropped += countLines(br)
 				return j, nil
+			case header != nil:
+				j.Specs = append(j.Specs, *header)
+			default:
+				j.Cells = append(j.Cells, c)
 			}
-			j.Cells = append(j.Cells, c)
 		}
 		if readErr == io.EOF {
 			return j, nil
@@ -136,17 +133,23 @@ func ReadJournalFile(path string) (*Journal, error) {
 // fresh RunSink.
 func Resume(ctx context.Context, spec Spec, run RunFunc, journal *Journal, sink Sink) (*Report, error) {
 	if journal == nil {
-		return runSink(ctx, spec, run, sink, nil)
+		return runSink(ctx, spec, run, sink, nil, true)
 	}
 	if err := journal.CheckSpec(spec); err != nil {
 		return nil, err
 	}
-	replay := make(map[string]Outcome, len(journal.Cells))
-	for _, c := range journal.Cells {
+	return runSink(ctx, spec, run, sink, journal.replay(), true)
+}
+
+// replay indexes the journal's clean outcomes by unit Key; keys duplicated
+// by repeated resumes resolve to the last occurrence.
+func (j *Journal) replay() map[string]Outcome {
+	replay := make(map[string]Outcome, len(j.Cells))
+	for _, c := range j.Cells {
 		if c.Err != "" {
 			continue
 		}
 		replay[c.Key()] = c.Outcome
 	}
-	return runSink(ctx, spec, run, sink, replay)
+	return replay
 }

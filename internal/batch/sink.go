@@ -122,8 +122,18 @@ func (s *JSONLSink) Cell(c Cell) error {
 	return nil
 }
 
-// Close closes the underlying file when the sink owns one.
+// Close fsyncs the journal (when the writer supports it) and closes the
+// underlying file when the sink owns one. The sync is what makes a cleanly
+// exiting shard's journal durable: without it, the final lines could still
+// sit in the OS page cache when the process exits, and a machine crash
+// before writeback would hand the merger a torn tail even though the shard
+// reported success.
 func (s *JSONLSink) Close() error {
+	if f, ok := s.w.(interface{ Sync() error }); ok {
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("batch: journal: sync: %w", err)
+		}
+	}
 	if s.closer == nil {
 		return nil
 	}

@@ -224,6 +224,42 @@ func TestSinkBackpressureBoundsJournalLag(t *testing.T) {
 	}
 }
 
+// syncWriter records whether Sync was called before Close — the durability
+// contract a shard process relies on when it exits cleanly.
+type syncWriter struct {
+	bytes.Buffer
+	synced           bool
+	closed           bool
+	syncedThenClosed bool
+}
+
+func (s *syncWriter) Sync() error { s.synced = true; return nil }
+func (s *syncWriter) Close() error {
+	s.closed = true
+	s.syncedThenClosed = s.synced
+	return nil
+}
+
+// TestJSONLSinkCloseSyncs: Close must fsync the journal before returning,
+// so a shard that exits cleanly can never leave its final lines in the page
+// cache for a machine crash to tear.
+func TestJSONLSinkCloseSyncs(t *testing.T) {
+	w := &syncWriter{}
+	sink := batch.NewJSONLSink(w)
+	if err := sink.Cell(batch.Cell{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.synced {
+		t.Fatal("Close returned without syncing the journal")
+	}
+	if w.closed {
+		t.Fatal("Close closed a writer the sink does not own")
+	}
+}
+
 // TestJSONLCellRoundTrip checks a cell's JSON line restores every field the
 // resume path and the deterministic emitters depend on, bit-exactly.
 func TestJSONLCellRoundTrip(t *testing.T) {

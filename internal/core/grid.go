@@ -56,6 +56,34 @@ func BalanceGridResume(ctx context.Context, spec batch.Spec, journal *batch.Jour
 	return batch.Resume(ctx, spec, balanceRunFunc(spec), journal, sink)
 }
 
+// BalanceGridSharded runs shard `shard` of `of` of the sweep: the slice of
+// the expansion whose unit indices are ≡ shard (mod of), so the `of` shard
+// processes together cover every unit exactly once. Each shard journals to
+// its own sink; batch.MergeJournals (or lbbench -merge) reassembles the
+// per-shard journals into one report byte-identical to a single-process
+// sweep. journal may carry the shard's own partial journal to resume a
+// shard that died partway; nil starts fresh.
+func BalanceGridSharded(ctx context.Context, spec batch.Spec, shard, of int, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
+	sharded, err := spec.Shard(shard, of)
+	if err != nil {
+		return nil, err
+	}
+	return BalanceGridResume(ctx, sharded, journal, sink)
+}
+
+// BalanceGridStream is the streaming-only sweep: cells are delivered to
+// sink (typically a batch.AggSink, alone or fanned out with a journal via
+// batch.MultiSink) and never materialized in an in-process report, so
+// memory stays independent of the unit count. journal resumes a partial
+// sweep exactly as BalanceGridResume would; nil starts fresh. Combine with
+// a sharded spec to stream one shard of a multi-process sweep.
+func BalanceGridStream(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) error {
+	if err := validateGridSpec(spec); err != nil {
+		return err
+	}
+	return batch.ResumeStream(ctx, spec, balanceRunFunc(spec), journal, sink)
+}
+
 // ValidateGridSpec rejects every spec BalanceGrid would reject, without
 // running any unit: dimension validation (empty/duplicate entries,
 // duplicate seeds), algorithm names, and topology buildability at spec.N.

@@ -3,7 +3,10 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -223,5 +226,109 @@ func TestBalanceGridRejectsBadSpecUpFront(t *testing.T) {
 		if _, err := BalanceGrid(spec); err == nil {
 			t.Fatalf("%s: accepted", name)
 		}
+	}
+}
+
+// TestBalanceGridShardedMergeByteIdentical drives the whole sharded recipe
+// through the real balancer: m shard processes journal their slices,
+// MergeJournals reassembles them, and the resumed report matches a
+// single-process sweep byte for byte without re-running a unit.
+func TestBalanceGridShardedMergeByteIdentical(t *testing.T) {
+	spec := batch.Spec{
+		Topologies: []string{"cycle", "star"},
+		Algorithms: []string{"diffusion", "dimexchange"},
+		Modes:      []string{"continuous"},
+		Workloads:  []string{"spike", "uniform"},
+		Seeds:      []int64{1, 2},
+		N:          16,
+	}
+	full, err := BalanceGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullOut bytes.Buffer
+	if err := full.RenderCSV(&fullOut); err != nil {
+		t.Fatal(err)
+	}
+
+	const m = 3
+	dir := t.TempDir()
+	paths := make([]string, m)
+	for i := 0; i < m; i++ {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("s%d.jsonl", i))
+		sink, err := batch.CreateJSONL(paths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardRep, err := BalanceGridSharded(context.Background(), spec, i, m, nil, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range shardRep.Cells {
+			if c.Index%m != i {
+				t.Fatalf("shard %d ran foreign unit %d", i, c.Index)
+			}
+		}
+	}
+
+	journal, _, err := batch.ReadMergedJournals(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(journal.Cells) != len(full.Cells) {
+		t.Fatalf("merged %d cells, want %d", len(journal.Cells), len(full.Cells))
+	}
+	merged, err := BalanceGridResume(context.Background(), spec, journal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mergedOut bytes.Buffer
+	if err := merged.RenderCSV(&mergedOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedOut.Bytes(), fullOut.Bytes()) {
+		t.Fatal("merged sharded sweep differs from single-process sweep")
+	}
+}
+
+// TestBalanceGridStreamAggMatchesReport: the streaming-only path must fold
+// the same aggregates the materialized report computes, through the real
+// balancer.
+func TestBalanceGridStreamAggMatchesReport(t *testing.T) {
+	spec := batch.Spec{
+		Topologies: []string{"cycle", "torus"},
+		Algorithms: []string{"diffusion", "randpair"},
+		Modes:      []string{"continuous"},
+		Workloads:  []string{"spike"},
+		Seeds:      []int64{1, 2},
+		N:          16,
+	}
+	rep, err := BalanceGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := batch.NewAggSink()
+	if err := BalanceGridStream(context.Background(), spec, nil, agg); err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(rep.Aggregates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(agg.Report().Aggregates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("streamed aggregates differ:\n%s\nvs\n%s", got, want)
+	}
+	// A bad spec is rejected before anything runs, like the other entries.
+	bad := spec
+	bad.Algorithms = []string{"nosuchalgo"}
+	if err := BalanceGridStream(context.Background(), bad, nil, batch.NewAggSink()); err == nil {
+		t.Fatal("BalanceGridStream accepted an unknown algorithm")
 	}
 }

@@ -32,6 +32,15 @@ type Options struct {
 	// Results are identical for any value: every sweep cell draws from its
 	// own RNG stream derived from Seed and the cell index.
 	Workers int
+	// ShardIndex/ShardCount restrict every sweep to the cells this process
+	// owns, under the batch engine's assignment rule (cell i runs iff
+	// i % ShardCount == ShardIndex). Foreign cells never run and their rows
+	// are omitted, so m processes running the same experiment with shards
+	// 0..m-1 emit disjoint row subsets that together form the full table —
+	// the experiment-harness face of sharded sweeps. ShardCount ≤ 1 means
+	// unsharded. Cell RNG streams derive from the cell index alone, so a
+	// cell's row is bit-identical whether computed sharded or not.
+	ShardIndex, ShardCount int
 }
 
 func (o Options) seed() int64 {
@@ -49,6 +58,9 @@ func (o Options) seed() int64 {
 // rest of the sweep has drained.
 func (o Options) sweep(n int, body func(i int, rng *rand.Rand)) {
 	errs := batch.ForEach(context.Background(), n, o.Workers, o.seed(), func(i int, rng *rand.Rand) error {
+		if !batch.ShardOwns(i, o.ShardIndex, o.ShardCount) {
+			return nil // another shard's cell: its process computes the row
+		}
 		body(i, rng)
 		return nil
 	})

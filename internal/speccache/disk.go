@@ -1,0 +1,142 @@
+package speccache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Disk spill: the scalar quantities (λ₂, γ, γ_P) are pure functions of the
+// graph fingerprint, so they can be shared across processes through small
+// JSON files — one per fingerprint — in a spill directory. This is what
+// keeps m shard processes of one sharded sweep from each paying the same
+// O(n³) eigensolves: the first process to need a quantity computes and
+// writes it, the rest load it.
+//
+// The spill is strictly a second cache level below the in-memory maps: a
+// scalar is looked up in memory first, then on disk, and only then computed
+// (and written back). Disk failures of any kind — unreadable directory,
+// corrupt or torn file, failed write — degrade silently to a recompute;
+// the cache never turns an I/O problem into a wrong or missing result.
+// Writes go through a temp file plus rename, so concurrent shard processes
+// can share a directory without ever observing a half-written entry (they
+// may both compute the same value once and race the rename — last writer
+// wins with an identical payload, since the quantities are deterministic).
+//
+// Optimal flows are not spilled: they are keyed on the load vector as well
+// as the graph, so cross-process reuse is rare, and their payload is O(m)
+// edges rather than one float.
+//
+// The shared cache enables the spill automatically when the
+// LB_SPECCACHE_DIR environment variable names a directory (created if
+// absent); any cache can opt in with SetDiskDir.
+
+// EnvDiskDir is the environment variable that, when set, points the shared
+// cache's disk spill at a directory.
+const EnvDiskDir = "LB_SPECCACHE_DIR"
+
+func init() {
+	if dir := os.Getenv(EnvDiskDir); dir != "" {
+		// Best-effort: a bad directory must not break a process that never
+		// asked for spilling explicitly.
+		_ = shared.SetDiskDir(dir)
+	}
+}
+
+// SetDiskDir enables the disk spill under dir (created if absent). Pass ""
+// to disable. Safe to call concurrently with lookups; entries already
+// memoized in memory are unaffected.
+func (c *Cache) SetDiskDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("speccache: disk spill: %w", err)
+		}
+	}
+	c.mu.Lock()
+	c.diskDir = dir
+	c.mu.Unlock()
+	return nil
+}
+
+// SetDiskDir is Shared().SetDiskDir.
+func SetDiskDir(dir string) error { return shared.SetDiskDir(dir) }
+
+// spillDir snapshots the spill directory ("" = disabled).
+func (c *Cache) spillDir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskDir
+}
+
+// diskFileName is the per-fingerprint entry file.
+func diskFileName(dir string, fp uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("spec-%016x.json", fp))
+}
+
+// diskKey names a quantity inside the entry file (ASCII, stable across
+// versions — these strings are the on-disk format).
+func (q quantity) diskKey() string {
+	switch q {
+	case qLambda2:
+		return "lambda2"
+	case qGamma:
+		return "gamma"
+	case qPaperGamma:
+		return "gamma_paper"
+	}
+	return ""
+}
+
+// diskLoad tries to read quantity q of fingerprint fp from the spill.
+func (c *Cache) diskLoad(q quantity, fp uint64) (float64, bool) {
+	dir := c.spillDir()
+	if dir == "" || q.diskKey() == "" {
+		return 0, false
+	}
+	raw, err := os.ReadFile(diskFileName(dir, fp))
+	if err != nil {
+		return 0, false
+	}
+	entry := map[string]float64{}
+	if json.Unmarshal(raw, &entry) != nil {
+		return 0, false // torn or corrupt entry: recompute, don't fail
+	}
+	v, ok := entry[q.diskKey()]
+	return v, ok
+}
+
+// diskSave merges quantity q of fingerprint fp into the spill entry,
+// atomically (temp file + rename). Failures are silent: the value is
+// already memoized in memory, and the next process simply recomputes.
+func (c *Cache) diskSave(q quantity, fp uint64, val float64) {
+	dir := c.spillDir()
+	if dir == "" || q.diskKey() == "" {
+		return
+	}
+	path := diskFileName(dir, fp)
+	entry := map[string]float64{}
+	if raw, err := os.ReadFile(path); err == nil {
+		// Merge with whatever quantities another process already spilled;
+		// a corrupt existing entry is simply overwritten.
+		_ = json.Unmarshal(raw, &entry)
+	}
+	entry[q.diskKey()] = val
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "spec-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

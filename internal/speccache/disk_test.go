@@ -1,0 +1,115 @@
+package speccache_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/speccache"
+	"repro/internal/spectral"
+)
+
+// TestDiskSpillSharesAcrossCaches: a second cache (standing in for a second
+// shard process) pointed at the same directory must load the first cache's
+// eigensolves from disk instead of recomputing, bit-exactly.
+func TestDiskSpillSharesAcrossCaches(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Torus(6, 6)
+
+	c1 := speccache.New()
+	if err := c1.SetDiskDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := c1.MustLambda2(g)
+	if _, err := c1.Gamma(g); err != nil {
+		t.Fatal(err)
+	}
+	if s := c1.Stats().Lambda2; s.Computes != 1 || s.DiskHits != 0 {
+		t.Fatalf("first process stats %+v, want 1 compute", s)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no spill files written: %v (%d entries)", err, len(entries))
+	}
+
+	c2 := speccache.New()
+	if err := c2.SetDiskDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.MustLambda2(g); got != want {
+		t.Fatalf("disk-loaded λ₂ %v differs from computed %v", got, want)
+	}
+	// Both quantities spilled by c1 — including γ, merged into the same
+	// fingerprint file — load without a single eigensolve.
+	if _, err := c2.Gamma(g); err != nil {
+		t.Fatal(err)
+	}
+	if s := c2.Stats().Lambda2; s.Computes != 0 || s.DiskHits != 1 {
+		t.Fatalf("second process λ₂ stats %+v, want a pure disk hit", s)
+	}
+	if s := c2.Stats().Gamma; s.Computes != 0 || s.DiskHits != 1 {
+		t.Fatalf("second process γ stats %+v, want a pure disk hit", s)
+	}
+	// Values loaded from disk must round-trip bit-exactly (the spill is
+	// JSON, and float64s survive Go's JSON encoding exactly).
+	if direct := spectral.MustLambda2(g); want != direct || c2.MustLambda2(g) != direct {
+		t.Fatal("spilled value is not bit-equal to a direct eigensolve")
+	}
+
+	if s := c2.Stats().String(); !strings.Contains(s, "disk") {
+		t.Fatalf("stats line hides the disk hits: %q", s)
+	}
+}
+
+// TestDiskSpillCorruptEntryRecomputes: torn or garbage spill files must
+// degrade to a recompute, never to an error or a wrong value.
+func TestDiskSpillCorruptEntryRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Cycle(20)
+
+	seed := speccache.New()
+	if err := seed.SetDiskDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := seed.MustLambda2(g)
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("expected exactly one spill file, got %d (%v)", len(entries), err)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+	if err := os.WriteFile(path, []byte(`{"lambda2": tor`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := speccache.New()
+	if err := c.SetDiskDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MustLambda2(g); got != want {
+		t.Fatalf("recomputed λ₂ %v differs from original %v", got, want)
+	}
+	if s := c.Stats().Lambda2; s.Computes != 1 || s.DiskHits != 0 {
+		t.Fatalf("corrupt entry was counted as a disk hit: %+v", s)
+	}
+	// The recompute healed the entry on disk for the next process.
+	c3 := speccache.New()
+	if err := c3.SetDiskDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c3.MustLambda2(g)
+	if s := c3.Stats().Lambda2; s.DiskHits != 1 {
+		t.Fatalf("healed entry not served from disk: %+v", s)
+	}
+}
+
+// TestDiskSpillDisabledByDefault: a cache without SetDiskDir must never
+// touch the filesystem.
+func TestDiskSpillDisabledByDefault(t *testing.T) {
+	c := speccache.New()
+	c.MustLambda2(graph.Cycle(12))
+	if s := c.Stats().Lambda2; s.DiskHits != 0 || s.Computes != 1 {
+		t.Fatalf("memory-only cache produced disk traffic: %+v", s)
+	}
+}

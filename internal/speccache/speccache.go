@@ -92,9 +92,13 @@ type Cache struct {
 	mu      sync.Mutex
 	scalars map[scalarKey]*scalarEntry
 	flows   map[flowKey]*flowEntry
+	// diskDir, when non-empty, is the disk-spill directory scalars are
+	// shared through across processes (see disk.go).
+	diskDir string
 
 	lookups  [numQuantities]atomic.Uint64
 	computes [numQuantities]atomic.Uint64
+	diskHits [numQuantities]atomic.Uint64
 }
 
 // New returns an empty cache.
@@ -126,8 +130,18 @@ func (c *Cache) scalar(q quantity, g *graph.G, compute func() (float64, error)) 
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		// Memory missed; the disk spill is the second level — a hit there is
+		// another process's (or a previous run's) eigensolve reused.
+		if v, ok := c.diskLoad(q, key.fp); ok {
+			c.diskHits[q].Add(1)
+			e.val = v
+			return
+		}
 		c.computes[q].Add(1)
 		e.val, e.err = compute()
+		if e.err == nil {
+			c.diskSave(q, key.fp, e.val)
+		}
 	})
 	return e.val, e.err
 }
@@ -230,14 +244,17 @@ func (c *Cache) Reset() {
 	for q := quantity(0); q < numQuantities; q++ {
 		c.lookups[q].Store(0)
 		c.computes[q].Store(0)
+		c.diskHits[q].Store(0)
 	}
 }
 
 // QuantityStats counts one quantity's cache traffic.
 type QuantityStats struct {
 	// Computes is how many times the quantity was actually computed (cache
-	// misses); Hits is how many lookups were served from memory.
-	Computes, Hits uint64
+	// misses all the way down); Hits is how many lookups were served from
+	// memory; DiskHits how many were loaded from the disk spill instead of
+	// computed.
+	Computes, Hits, DiskHits uint64
 }
 
 // Stats is a point-in-time snapshot of the cache's effectiveness, one entry
@@ -252,8 +269,8 @@ type Stats struct {
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
 	snap := func(q quantity) QuantityStats {
-		lookups, computes := c.lookups[q].Load(), c.computes[q].Load()
-		return QuantityStats{Computes: computes, Hits: lookups - computes}
+		lookups, computes, disk := c.lookups[q].Load(), c.computes[q].Load(), c.diskHits[q].Load()
+		return QuantityStats{Computes: computes, Hits: lookups - computes - disk, DiskHits: disk}
 	}
 	return Stats{
 		Lambda2:     snap(qLambda2),
@@ -266,6 +283,9 @@ func (c *Cache) Stats() Stats {
 // String renders the snapshot as one human-readable line.
 func (s Stats) String() string {
 	part := func(name string, q QuantityStats) string {
+		if q.DiskHits > 0 {
+			return fmt.Sprintf("%s %d computed/%d disk/%d hits", name, q.Computes, q.DiskHits, q.Hits)
+		}
 		return fmt.Sprintf("%s %d computed/%d hits", name, q.Computes, q.Hits)
 	}
 	return part("λ₂", s.Lambda2) + ", " + part("γ", s.Gamma) + ", " +
