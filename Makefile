@@ -1,12 +1,15 @@
-# Local targets mirror .github/workflows/ci.yml exactly: `make ci` runs the
-# same build, vet, gofmt, staticcheck, race-test, benchmark-smoke and
-# shard/resume smoke steps the workflow does, so a green `make ci` means a
-# green PR. (staticcheck is skipped with a warning when the binary is not
-# installed; CI installs it pinned.)
+# Local targets mirror .github/workflows/ci.yml: `make ci` runs the same
+# build, vet, gofmt, staticcheck, race-test, benchmark-smoke and
+# resume/shard/orchestrator smoke steps the workflow does, so a green
+# `make ci` means a green PR. (staticcheck is skipped with a warning when
+# the binary is not installed; CI installs it pinned. The CI-only
+# matrix-plan/matrix-shard/matrix-shard-merge jobs prove the -emit-matrix
+# github plan is executable as a real Actions matrix; their local
+# equivalent is `lbbench ... -spawn m -emit-matrix shell | sh`.)
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check staticcheck bench grid-smoke resume-smoke shard-merge-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke ci
 
 build:
 	$(GO) build ./...
@@ -64,27 +67,39 @@ SHARD_ARGS = -grid -topos cycle,torus,hypercube,star,complete,path \
 	-algos diffusion,dimexchange,randpair -modes continuous,discrete \
 	-loads spike,uniform -n 160 -seeds 1,2,3 -eps 1e-5 -parallel 4 -format csv
 
+# One orchestrator command replaces the PR 3 hand-launched shard
+# choreography: -spawn 3 plans, spawns, supervises and merges; the report
+# and the stream-agg render from its journals must match the single-process
+# sweep byte for byte.
 shard-merge-smoke:
 	$(GO) build -o /tmp/lbbench ./cmd/lbbench
-	rm -f /tmp/lbbench-s0.jsonl /tmp/lbbench-s1.jsonl /tmp/lbbench-s2.jsonl
+	rm -rf /tmp/lbbench-sweep
 	/tmp/lbbench $(SHARD_ARGS) > /tmp/lbbench-shard-full.csv
 	/tmp/lbbench $(SHARD_ARGS) -stream-agg > /tmp/lbbench-shard-fullagg.csv
-	/tmp/lbbench $(SHARD_ARGS) -shard 0/3 -out /tmp/lbbench-s0.jsonl > /dev/null & \
-	p0=$$!; \
-	/tmp/lbbench $(SHARD_ARGS) -shard 1/3 -out /tmp/lbbench-s1.jsonl > /dev/null & \
-	p1=$$!; \
-	/tmp/lbbench $(SHARD_ARGS) -shard 2/3 -out /tmp/lbbench-s2.jsonl > /dev/null & \
-	p2=$$!; \
-	for i in $$(seq 1 600); do \
-		{ [ -f /tmp/lbbench-s2.jsonl ] && [ "$$(wc -l < /tmp/lbbench-s2.jsonl)" -ge 20 ]; } && break; \
-		kill -0 $$p2 2>/dev/null || break; \
-		sleep 0.1; \
-	done; \
-	kill -INT $$p2 2>/dev/null; wait $$p2 || true; wait $$p0; wait $$p1
-	/tmp/lbbench $(SHARD_ARGS) -shard 2/3 -resume /tmp/lbbench-s2.jsonl -out /tmp/lbbench-s2.jsonl > /dev/null
-	/tmp/lbbench $(SHARD_ARGS) -merge /tmp/lbbench-s0.jsonl,/tmp/lbbench-s1.jsonl,/tmp/lbbench-s2.jsonl > /tmp/lbbench-merged.csv
+	/tmp/lbbench $(SHARD_ARGS) -spawn 3 -out /tmp/lbbench-sweep > /tmp/lbbench-merged.csv
 	cmp /tmp/lbbench-shard-full.csv /tmp/lbbench-merged.csv
-	/tmp/lbbench $(SHARD_ARGS) -merge /tmp/lbbench-s0.jsonl,/tmp/lbbench-s1.jsonl,/tmp/lbbench-s2.jsonl -stream-agg > /tmp/lbbench-mergedagg.csv
+	/tmp/lbbench $(SHARD_ARGS) -merge /tmp/lbbench-sweep/shard-0.jsonl,/tmp/lbbench-sweep/shard-1.jsonl,/tmp/lbbench-sweep/shard-2.jsonl -stream-agg > /tmp/lbbench-mergedagg.csv
 	cmp /tmp/lbbench-shard-fullagg.csv /tmp/lbbench-mergedagg.csv
 
-ci: build vet fmt-check staticcheck test bench grid-smoke resume-smoke shard-merge-smoke
+# Supervision under fire, mirroring CI's orchestrator-smoke: SIGKILL one
+# shard subprocess mid-run; the supervisor must restart it with -resume and
+# the auto-merged report must still match the single-process sweep.
+orchestrator-smoke:
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	rm -rf /tmp/lbbench-osweep
+	/tmp/lbbench $(SHARD_ARGS) > /tmp/lbbench-ofull.csv
+	/tmp/lbbench $(SHARD_ARGS) -spawn 3 -out /tmp/lbbench-osweep > /tmp/lbbench-ospawned.csv 2> /tmp/lbbench-orch.log & \
+	opid=$$!; \
+	for i in $$(seq 1 600); do \
+		{ [ -f /tmp/lbbench-osweep/shard-2.jsonl ] && [ "$$(wc -l < /tmp/lbbench-osweep/shard-2.jsonl)" -ge 10 ]; } && break; \
+		kill -0 $$opid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	cpid=$$(pgrep -f -- '-shard [2]/3' | head -1); \
+	if [ -n "$$cpid" ]; then echo "SIGKILLing shard 2/3 (pid $$cpid)"; kill -9 $$cpid; fi; \
+	wait $$opid
+	cmp /tmp/lbbench-ofull.csv /tmp/lbbench-ospawned.csv
+	grep -q "restarting with -resume" /tmp/lbbench-orch.log || \
+		echo "note: shard 2 finished before the kill — no restart needed"
+
+ci: build vet fmt-check staticcheck test bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke

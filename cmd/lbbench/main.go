@@ -60,6 +60,30 @@
 // anything), so memory stays independent of the unit count — no per-cell
 // table is materialized or printed. Set LB_SPECCACHE_DIR to let concurrent
 // shard processes share eigensolves through a disk spectral-cache spill.
+//
+// Orchestrated sweeps (one command plans, spawns, supervises and merges):
+//
+//	lbbench -grid ... -spawn 3 -out sweep/             # the whole pipeline
+//	lbbench -grid ... -spawn 3 -emit-matrix github     # serialize the plan
+//
+// -spawn m plans the m-way shard split, spawns m shard subprocesses of this
+// binary (sharing LB_SPECCACHE_DIR, journaling under the -out directory),
+// tails the journals for shard-aware live progress on stderr (units
+// done/total per shard, ETA, stall warnings), restarts any shard that dies
+// with -resume against its own journal (capped retries, loudly reported),
+// and on completion merges the journals and renders the report to stdout —
+// byte-identical to the single-process sweep. Interrupting the orchestrator
+// interrupts the children gracefully; re-running the same command resumes
+// every shard. -parallel applies per child. -emit-matrix {github|slurm|
+// shell} prints the planned split as a GitHub Actions matrix include-list,
+// a Slurm job-array script or a plain shell fan-out instead of running it,
+// so the exact local split is what CI and clusters execute. cmd/lborch is
+// the standalone wrapper around the same machinery.
+//
+// Exit codes: 0 success; 1 failed units or rendering; 2 usage/spec errors;
+// 3 interrupted or journal-close failure (resumable); 4 contradictory flag
+// combinations (e.g. -spawn with -shard, -resume without -out); 5 shard or
+// spawn counts out of range.
 package main
 
 import (
@@ -69,6 +93,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -77,7 +102,18 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/orchestrator"
 	"repro/internal/speccache"
+)
+
+// Exit codes. Distinct classes let scripts (and the CI smokes) tell a
+// resumable interruption from a typo and a typo from a half-failed figure.
+const (
+	exitFailedUnits = 1 // sweep completed but the figure has holes (or rendering failed)
+	exitUsage       = 2 // malformed flags, invalid spec, unreadable journals
+	exitInterrupted = 3 // interrupted or journal close failed — journals are resumable
+	exitConflict    = 4 // contradictory flag combination, refused before touching any journal
+	exitBadCount    = 5 // shard/spawn counts out of range
 )
 
 func main() {
@@ -101,12 +137,16 @@ func main() {
 		rounds = flag.Int("rounds", 0, "grid: round cap per unit (0 = theorem-derived default)")
 		format = flag.String("format", "table", "grid: output format (table, csv, json)")
 
-		out        = flag.String("out", "", "grid: stream finished cells to this JSONL journal (resumable with -resume)")
-		resume     = flag.String("resume", "", "grid: replay completed cells from this JSONL journal, re-run only the rest")
+		out        = flag.String("out", "", "grid: stream finished cells to this JSONL journal (a directory with -spawn; resumable with -resume)")
+		resume     = flag.String("resume", "", "grid: replay completed cells from this JSONL journal, re-run only the rest (requires -out)")
 		shard      = flag.String("shard", "", "run only shard i of m, format i/m (grid sweeps and experiment sweeps)")
 		merge      = flag.String("merge", "", "grid: comma-separated per-shard JSONL journals to merge into one report (instead of -resume)")
 		streamAgg  = flag.Bool("stream-agg", false, "grid: streaming-only aggregation — fold aggregates and per-dimension marginals incrementally, never materializing cells")
 		cacheStats = flag.Bool("cache-stats", false, "print shared spectral-cache statistics to stderr on exit")
+
+		spawn      = flag.Int("spawn", 0, "grid: orchestrate the sweep as this many local shard subprocesses (plan, spawn, supervise, merge; journals under the -out directory)")
+		emitMatrix = flag.String("emit-matrix", "", "grid: with -spawn m, print the shard plan as a CI/cluster fan-out (github, slurm, shell) instead of running it")
+		retries    = flag.Int("retries", 3, "orchestrator: max restarts per dead shard before giving up")
 	)
 	flag.Parse()
 
@@ -116,27 +156,142 @@ func main() {
 		}
 		return
 	}
+	// Contradictory flag combinations and nonsense counts are refused here,
+	// with their own exit codes, before any journal file could be created or
+	// truncated — a typo'd orchestration must never cost a partial journal.
+	if msg, code := checkFlagCombos(*grid, *spawn, *emitMatrix, *shard, *resume, *out, *merge); code != 0 {
+		fmt.Fprintf(os.Stderr, "lbbench: %s\n", msg)
+		os.Exit(code)
+	}
 	shardI, shardM, err := parseShard(*shard)
 	if err != nil {
+		code := exitUsage
+		if errors.Is(err, errShardRange) {
+			code = exitBadCount
+		}
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
-		os.Exit(2)
+		os.Exit(code)
+	}
+	gf := gridFlags{
+		topos: *topos, algos: *algos, modes: *modes, loads: *loads,
+		seeds: *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
+		workers: *parallel, format: *format, out: *out, resume: *resume,
+		shardI: shardI, shardM: shardM, merge: *merge,
+		streamAgg: *streamAgg, gridSet: *grid,
 	}
 	var code int
-	if *grid || *merge != "" {
-		code = runGrid(gridFlags{
-			topos: *topos, algos: *algos, modes: *modes, loads: *loads,
-			seeds: *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
-			workers: *parallel, format: *format, out: *out, resume: *resume,
-			shardI: shardI, shardM: shardM, merge: *merge,
-			streamAgg: *streamAgg, gridSet: *grid,
-		})
-	} else {
+	switch {
+	case *spawn > 0:
+		code = runSpawn(gf, *spawn, *emitMatrix, *retries)
+	case *grid || *merge != "":
+		code = runGrid(gf)
+	default:
 		code = runExperiments(*exp, *seed, *quick, *csv, *parallel, shardI, shardM)
 	}
 	if *cacheStats {
 		fmt.Fprintf(os.Stderr, "lbbench: speccache: %s\n", speccache.Shared().Stats())
 	}
 	os.Exit(code)
+}
+
+// checkFlagCombos rejects contradictory flag combinations (exitConflict)
+// and out-of-range counts (exitBadCount) up front. Returns code 0 when the
+// combination is coherent.
+func checkFlagCombos(grid bool, spawn int, emitMatrix, shard, resume, out, merge string) (string, int) {
+	switch {
+	case spawn < 0:
+		return fmt.Sprintf("-spawn %d: shard count must be positive", spawn), exitBadCount
+	case spawn > 0 && !grid:
+		return "-spawn orchestrates grid sweeps — pass -grid with the sweep's flags", exitConflict
+	case spawn > 0 && shard != "":
+		return "-spawn and -shard conflict: the orchestrator owns the shard split (its children get -shard)", exitConflict
+	case spawn > 0 && resume != "":
+		return "-spawn and -resume conflict: the orchestrator resumes each shard from its own journal automatically", exitConflict
+	case spawn > 0 && merge != "":
+		return "-spawn and -merge conflict: the orchestrator merges its shard journals automatically", exitConflict
+	case spawn > 0 && emitMatrix == "" && out == "":
+		return "-spawn needs -out DIR: the directory holding the per-shard journals", exitConflict
+	case emitMatrix != "" && spawn <= 0:
+		return "-emit-matrix needs -spawn m to size the shard split", exitConflict
+	case emitMatrix != "" && emitMatrix != "github" && emitMatrix != "slurm" && emitMatrix != "shell":
+		return fmt.Sprintf("unknown -emit-matrix %q (want %s)", emitMatrix, orchestrator.EmitFormats), exitUsage
+	case resume != "" && out == "":
+		return "-resume without -out: re-running units nothing journals loses them on the next crash — pass -out (typically the same path, to resume in place), or use -merge for a pure render", exitConflict
+	case merge != "" && resume != "":
+		return "-merge and -resume are mutually exclusive (a merge already replays every journal)", exitConflict
+	}
+	return "", 0
+}
+
+// runSpawn is the orchestrated path: plan the m-way split, then either
+// serialize it (-emit-matrix) or spawn, supervise, merge and render.
+func runSpawn(f gridFlags, m int, emitMatrix string, retries int) int {
+	seedList, err := parseSeeds(f.seeds)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		return exitUsage
+	}
+	spec := batch.Spec{
+		Topologies: splitList(f.topos),
+		Algorithms: splitList(f.algos),
+		Modes:      splitList(f.modes),
+		Workloads:  splitList(f.loads),
+		Seeds:      seedList,
+		N:          f.n,
+		Scale:      f.scale,
+		Epsilon:    f.eps,
+		MaxRounds:  f.rounds,
+		Workers:    f.workers,
+	}
+	switch f.format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", f.format)
+		return exitUsage
+	}
+	plan, err := orchestrator.NewPlan(spec, m, f.out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		return exitUsage
+	}
+	plan.Format = f.format
+	// The topologies must build before m processes each discover the same
+	// typo independently.
+	if err := core.ValidateGridSpec(plan.Spec); err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		return exitUsage
+	}
+
+	if emitMatrix != "" {
+		if err := plan.Emit(emitMatrix, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return exitUsage
+		}
+		return 0
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: cannot locate own binary to spawn shards: %v\n", err)
+		return exitUsage
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	sup := &orchestrator.Supervisor{
+		Plan:       plan,
+		Command:    []string{self},
+		MaxRetries: retries,
+		Log:        os.Stderr,
+	}
+	code := sup.RunAndReport(ctx, f.streamAgg, os.Stdout)
+	if code == exitInterrupted {
+		fmt.Fprintf(os.Stderr, "lbbench: interrupted — re-run the same -spawn command to resume every shard\n")
+	}
+	return code
 }
 
 // runExperiments is the classic per-experiment table mode.
@@ -241,11 +396,8 @@ func runGrid(f gridFlags) int {
 		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", f.format)
 		return 2
 	}
+	// -merge with -resume was refused up front (checkFlagCombos).
 	mergePaths := splitList(f.merge)
-	if len(mergePaths) > 0 && f.resume != "" {
-		fmt.Fprintln(os.Stderr, "lbbench: -merge and -resume are mutually exclusive (a merge already replays every journal)")
-		return 2
-	}
 
 	// -merge -stream-agg is the pure render path: fold the shard journals'
 	// cells straight into the incremental aggregator and print the summary.
@@ -336,7 +488,15 @@ func runGrid(f gridFlags) int {
 	var js *batch.JSONLSink
 	if f.out != "" {
 		var err error
-		js, err = batch.CreateJSONL(f.out)
+		if samePath(f.out, f.resume) || containsPath(mergePaths, f.out) {
+			// Resume-in-place: the partial journal was fully read above, so
+			// truncating and rewriting it complete is the point.
+			js, err = batch.ReplaceJSONL(f.out)
+		} else {
+			// Fresh journal: O_EXCL, so two shard processes accidentally
+			// pointed at the same path fail loudly instead of interleaving.
+			js, err = batch.CreateJSONL(f.out)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 			return 2
@@ -373,18 +533,7 @@ func runGrid(f gridFlags) int {
 		return 2
 	}
 
-	switch f.format {
-	case "table":
-		err = report.Table().Render(os.Stdout)
-		if err == nil {
-			err = report.AggregateTable().Render(os.Stdout)
-		}
-	case "csv":
-		err = report.RenderCSV(os.Stdout)
-	case "json":
-		err = report.RenderJSON(os.Stdout)
-	}
-	if err != nil {
+	if err := report.Render(f.format, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "lbbench: rendering grid report: %v\n", err)
 		return 1
 	}
@@ -501,24 +650,17 @@ func renderMergedAggregates(spec batch.Spec, paths []string, f gridFlags) int {
 
 // renderAggReport prints a streaming aggregate report in the chosen format.
 func renderAggReport(rep *batch.AggReport, format string) int {
-	var err error
-	switch format {
-	case "table":
-		err = rep.Table().Render(os.Stdout)
-		if err == nil {
-			err = rep.MarginalTable().Render(os.Stdout)
-		}
-	case "csv":
-		err = rep.RenderCSV(os.Stdout)
-	case "json":
-		err = rep.RenderJSON(os.Stdout)
-	}
-	if err != nil {
+	if err := rep.Render(format, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "lbbench: rendering aggregate report: %v\n", err)
 		return 1
 	}
 	return 0
 }
+
+// errShardRange marks a -shard value that parsed but names an impossible
+// slice (count ≤ 0, index outside [0, m)) — exitBadCount, where a malformed
+// string is plain usage (exitUsage).
+var errShardRange = errors.New("shard out of range")
 
 // parseShard parses the -shard i/m value ("" means unsharded).
 func parseShard(s string) (i, m int, err error) {
@@ -534,10 +676,47 @@ func parseShard(s string) (i, m int, err error) {
 	if err1 != nil || err2 != nil {
 		return 0, 0, fmt.Errorf("bad -shard %q (want i/m, e.g. 0/3)", s)
 	}
-	if m <= 0 || i < 0 || i >= m {
-		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0, m)", s)
+	if m <= 0 {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w: count must be positive", s, errShardRange)
+	}
+	if i < 0 || i >= m {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w: index must be in [0, %d)", s, errShardRange, m)
 	}
 	return i, m, nil
+}
+
+// samePath reports whether a and b name the same file, so resume-in-place
+// is recognized however the paths are spelled (`./x.jsonl` vs `x.jsonl`,
+// absolute vs relative, through symlinks). Misclassifying here would send a
+// legitimate resume to the O_EXCL open, which refuses the existing journal
+// — the partial journal's only copy must never be the thing the error
+// message tells the user to delete. When both paths exist the inodes
+// decide; otherwise absolute-path comparison.
+func samePath(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	if ia, err := os.Stat(a); err == nil {
+		if ib, err := os.Stat(b); err == nil {
+			return os.SameFile(ia, ib)
+		}
+	}
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return filepath.Clean(a) == filepath.Clean(b)
+	}
+	return aa == bb
+}
+
+// containsPath reports whether list has an entry naming the same file as s.
+func containsPath(list []string, s string) bool {
+	for _, v := range list {
+		if samePath(v, s) {
+			return true
+		}
+	}
+	return false
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.

@@ -69,7 +69,7 @@ func (s *AggSink) Spec(spec Spec) error {
 	if s.spec == nil {
 		first := spec
 		s.spec = &first
-		s.expected = spec.unitCount()
+		s.expected = spec.UnitCount()
 	} else if err := SameGrid(*s.spec, spec); err != nil {
 		return err
 	}
@@ -308,4 +308,22 @@ func (r *AggReport) RenderJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// Render writes the report in the named format: "table" (aggregates plus
+// marginals), "csv" or "json" — the single dispatch shared by the CLI's
+// stream-agg paths and the orchestrator's merge, mirroring Report.Render.
+func (r *AggReport) Render(format string, w io.Writer) error {
+	switch format {
+	case "table":
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		return r.MarginalTable().Render(w)
+	case "csv":
+		return r.RenderCSV(w)
+	case "json":
+		return r.RenderJSON(w)
+	}
+	return fmt.Errorf("batch: unknown format %q (want table, csv or json)", format)
 }

@@ -105,6 +105,12 @@ func ShardOwns(idx, i, m int) bool {
 	return idx%m == i
 }
 
+// WithDefaults returns s with the documented defaults filled in — the spec
+// the engine will actually run. Exposed for orchestrators that must
+// reproduce the effective grid outside the engine (shard CLI flags, journal
+// layouts, CI matrix entries).
+func (s Spec) WithDefaults() Spec { return s.withDefaults() }
+
 // withDefaults fills the documented defaults without mutating the receiver.
 func (s Spec) withDefaults() Spec {
 	if s.N <= 0 {
@@ -252,17 +258,19 @@ func (s Spec) validShard() error {
 	return nil
 }
 
-// unitCount is the size of the full expansion (every dimension length
-// multiplied out), computable without building the units.
-func (s Spec) unitCount() int {
+// UnitCount is the size of the full expansion (every dimension length
+// multiplied out), computable without building the units. Orchestrators use
+// it to size a shard split before spawning anything.
+func (s Spec) UnitCount() int {
 	s = s.withDefaults()
 	return len(s.Topologies) * len(s.Algorithms) * len(s.Modes) * len(s.Workloads) * len(s.Seeds)
 }
 
-// ownedUnitCount is how many of the expansion's units this spec's shard
-// owns (the full count when unsharded).
-func (s Spec) ownedUnitCount() int {
-	total := s.unitCount()
+// OwnedUnitCount is how many of the expansion's units this spec's shard
+// owns (the full count when unsharded) — the denominator of a shard's
+// progress display.
+func (s Spec) OwnedUnitCount() int {
+	total := s.UnitCount()
 	if s.ShardCount <= 1 {
 		return total
 	}
@@ -279,7 +287,7 @@ func (s Spec) ownedUnits(units []Unit) []Unit {
 	if s.ShardCount <= 1 {
 		return units
 	}
-	mine := make([]Unit, 0, s.ownedUnitCount())
+	mine := make([]Unit, 0, s.OwnedUnitCount())
 	for _, u := range units {
 		if ShardOwns(u.Index, s.ShardIndex, s.ShardCount) {
 			mine = append(mine, u)

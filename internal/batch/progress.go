@@ -1,0 +1,197 @@
+package batch
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JournalProgress summarizes how far a shard journal has gotten, without
+// retaining a single cell — the orchestrator's view of a running (or dead)
+// shard. It is safe to take while the writing process is still appending:
+// the scan reads to EOF, and whatever the writer had not finished flushing
+// yet simply shows up as a torn tail that the next scan resolves.
+type JournalProgress struct {
+	// Specs are the spec headers encountered, in order (one per shard
+	// journal; several for concatenated files). A header-only journal — an
+	// empty shard, or a shard killed before its first cell — has Specs but
+	// zero Cells.
+	Specs []Spec
+	// Cells counts the complete, decodable cell lines; Failed how many of
+	// them carry an error (failed or cancelled units).
+	Cells  int
+	Failed int
+	// LastIndex is the highest unit expansion index seen (-1 when no cell
+	// has been journaled yet). Engine-written journals are in expansion
+	// order, so this is also the journal's final cell.
+	LastIndex int
+	// Torn reports an unparseable final line with no trailing newline — the
+	// signature of a write in progress (or cut short by a kill). A torn tail
+	// is not corruption: the scanner stops counting there and the next scan,
+	// or the resume path, picks it up.
+	Torn bool
+	// Dropped counts complete-but-undecodable lines (real corruption). Like
+	// ReadJournal, the scan stops at the first one; everything after it is
+	// unaccounted for.
+	Dropped int
+}
+
+// Done reports whether progress covers every unit its own headers promise:
+// the shard's owned unit count when the journal is sharded, the full
+// expansion otherwise. False when no header has been seen (nothing to be
+// complete against).
+func (p JournalProgress) Done() bool {
+	if len(p.Specs) == 0 {
+		return false
+	}
+	return p.Cells >= p.Specs[0].OwnedUnitCount()
+}
+
+// ScanJournalProgress reads a JSONL journal and tallies its progress. Unlike
+// ReadJournal it keeps nothing per cell, so tailing a million-unit journal
+// every second costs one sequential read and O(1) memory. I/O failures are
+// the only errors; torn tails and corrupt lines are reported in the result.
+func ScanJournalProgress(r io.Reader) (JournalProgress, error) {
+	p := JournalProgress{LastIndex: -1}
+	br := bufio.NewReader(r)
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if t := bytes.TrimSpace(line); len(t) > 0 {
+			header, c, perr := parseJournalLine(t)
+			switch {
+			case perr != nil:
+				// An unparseable tail with no newline is a write caught
+				// mid-flight, not corruption — report Torn and stop. A
+				// complete line that does not decode is corruption; count it
+				// and stop exactly where ReadJournal would.
+				if readErr == io.EOF && !bytes.HasSuffix(line, []byte("\n")) {
+					p.Torn = true
+					return p, nil
+				}
+				p.Dropped++
+				p.Dropped += countLines(br)
+				return p, nil
+			case header != nil:
+				p.Specs = append(p.Specs, *header)
+			default:
+				p.Cells++
+				if c.Err != "" {
+					p.Failed++
+				}
+				if c.Index > p.LastIndex {
+					p.LastIndex = c.Index
+				}
+			}
+		}
+		if readErr == io.EOF {
+			return p, nil
+		}
+		if readErr != nil {
+			return p, fmt.Errorf("batch: journal: %w", readErr)
+		}
+	}
+}
+
+// ScanJournalProgressFile is ScanJournalProgress over the file at path. A
+// journal that does not exist yet — a shard that has not started, or was
+// killed before creating it — is zero progress, not an error.
+func ScanJournalProgressFile(path string) (JournalProgress, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return JournalProgress{LastIndex: -1}, nil
+	}
+	if err != nil {
+		return JournalProgress{}, fmt.Errorf("batch: journal: %w", err)
+	}
+	defer f.Close()
+	return ScanJournalProgress(f)
+}
+
+// JournalTailer tallies a journal that is being appended to, incrementally:
+// each Scan folds only the bytes added since the last one, so polling a
+// growing multi-gigabyte journal every second costs O(new data), not
+// O(file) — the supervisor's progress loop stays cheap for the sweep's
+// whole lifetime. It is a live-progress view, not the authoritative read
+// (that is ReadJournal/Resume): a complete-but-undecodable line is counted
+// into Dropped and skipped rather than ending the scan, and an unconsumed
+// tail with no newline is left for the next Scan to resolve (reported
+// Torn). A file that shrinks between scans — a ReplaceJSONL resume
+// rewriting it — resets the tally and re-reads from the start.
+type JournalTailer struct {
+	path   string
+	offset int64 // first byte not yet folded (start of the pending tail)
+	p      JournalProgress
+}
+
+// NewJournalTailer tails the journal at path (which need not exist yet).
+func NewJournalTailer(path string) *JournalTailer {
+	return &JournalTailer{path: path, p: JournalProgress{LastIndex: -1}}
+}
+
+// Scan folds any bytes appended since the previous Scan and returns the
+// running tally. I/O failures are the only errors; a missing file is zero
+// progress.
+func (t *JournalTailer) Scan() (JournalProgress, error) {
+	f, err := os.Open(t.path)
+	if os.IsNotExist(err) {
+		t.offset, t.p = 0, JournalProgress{LastIndex: -1}
+		return t.p, nil
+	}
+	if err != nil {
+		return t.p, fmt.Errorf("batch: journal: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return t.p, fmt.Errorf("batch: journal: %w", err)
+	}
+	if st.Size() < t.offset {
+		t.offset, t.p = 0, JournalProgress{LastIndex: -1}
+	}
+	if st.Size() == t.offset {
+		return t.p, nil
+	}
+	if _, err := f.Seek(t.offset, io.SeekStart); err != nil {
+		return t.p, fmt.Errorf("batch: journal: %w", err)
+	}
+	br := bufio.NewReader(f)
+	for {
+		line, readErr := br.ReadBytes('\n')
+		if !bytes.HasSuffix(line, []byte("\n")) {
+			// The in-flight (or kill-torn) tail: leave it unconsumed so the
+			// next Scan rereads it once the writer finishes the line.
+			t.p.Torn = len(bytes.TrimSpace(line)) > 0
+			if readErr == io.EOF {
+				return t.p, nil
+			}
+			return t.p, fmt.Errorf("batch: journal: %w", readErr)
+		}
+		t.offset += int64(len(line))
+		t.p.Torn = false
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			header, c, perr := parseJournalLine(trimmed)
+			switch {
+			case perr != nil:
+				t.p.Dropped++
+			case header != nil:
+				t.p.Specs = append(t.p.Specs, *header)
+			default:
+				t.p.Cells++
+				if c.Err != "" {
+					t.p.Failed++
+				}
+				if c.Index > t.p.LastIndex {
+					t.p.LastIndex = c.Index
+				}
+			}
+		}
+		if readErr != nil {
+			if readErr == io.EOF {
+				return t.p, nil
+			}
+			return t.p, fmt.Errorf("batch: journal: %w", readErr)
+		}
+	}
+}

@@ -229,3 +229,24 @@ func (r *Report) RenderJSON(w io.Writer) error {
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
 }
+
+// Render writes the report in the named format: "table" (the human view —
+// per-cell table plus the aggregate table), "csv" or "json" (both
+// deterministic). This is the one format dispatch every consumer (the CLI's
+// grid path, the orchestrator's merge) shares, which is what keeps
+// "orchestrated output is byte-identical to single-process output" a
+// property of one code path instead of several kept in lockstep.
+func (r *Report) Render(format string, w io.Writer) error {
+	switch format {
+	case "table":
+		if err := r.Table().Render(w); err != nil {
+			return err
+		}
+		return r.AggregateTable().Render(w)
+	case "csv":
+		return r.RenderCSV(w)
+	case "json":
+		return r.RenderJSON(w)
+	}
+	return fmt.Errorf("batch: unknown format %q (want table, csv or json)", format)
+}

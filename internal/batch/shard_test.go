@@ -166,7 +166,7 @@ func TestShardedResumeAfterKill(t *testing.T) {
 		t.Fatal(err)
 	}
 	var calls atomic.Int64
-	sink, err := batch.CreateJSONL(paths[1])
+	sink, err := batch.ReplaceJSONL(paths[1]) // resume-in-place: the partial journal is already read back
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -79,9 +79,33 @@ type JSONLSink struct {
 // NewJSONLSink streams cells to w. Close does not close w.
 func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
 
-// CreateJSONL creates (truncating) the journal file at path and streams
-// cells to it. Close closes the file.
+// CreateJSONL creates the journal file at path and streams cells to it.
+// Close closes the file.
+//
+// The open is O_EXCL: a journal that already exists is refused instead of
+// truncated. Two shard processes accidentally pointed at the same journal
+// path would otherwise interleave their lines into a file no reader could
+// validate — the second opener now fails loudly before writing a byte. A
+// journal that should legitimately be rewritten is either resumed in place
+// (ReplaceJSONL, after its cells have been read back) or removed first.
 func CreateJSONL(path string) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf(
+				"batch: journal %s already exists — resume it (it may hold another shard's, or a previous run's, cells) or remove it first", path)
+		}
+		return nil, fmt.Errorf("batch: journal: %w", err)
+	}
+	return &JSONLSink{w: f, closer: f}, nil
+}
+
+// ReplaceJSONL truncates and rewrites the journal at path — the
+// resume-in-place open, for callers that have already read the partial
+// journal back and are about to re-journal every cell (replayed and fresh)
+// through the new sink. Everything CreateJSONL's O_EXCL protects against is
+// deliberate here.
+func ReplaceJSONL(path string) (*JSONLSink, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("batch: journal: %w", err)

@@ -1,0 +1,138 @@
+package orchestrator
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// shardPhase is a shard's lifecycle as the supervisor sees it.
+type shardPhase int
+
+const (
+	phaseRunning shardPhase = iota
+	phaseDone
+	phaseFailed
+)
+
+// shardState is the tracker's view of one shard: the latest journal scan
+// plus when it last moved.
+type shardState struct {
+	progress   batch.JournalProgress
+	phase      shardPhase
+	restarts   int
+	lastChange time.Time
+	stallSeen  bool // a stall warning was already printed for this episode
+}
+
+// tracker folds periodic journal scans into shard-aware progress: units
+// done/total per shard, an overall ETA from the observed completion rate
+// (the streaming fold over everything journaled so far), and stall
+// detection for shards whose journals stop growing while their process is
+// supposedly alive. It is the supervisor's bookkeeping, split out pure so
+// the torn-tail/stall/ETA arithmetic is testable without spawning anything.
+type tracker struct {
+	plan   *Plan
+	start  time.Time
+	shards []shardState
+}
+
+func newTracker(p *Plan, now time.Time) *tracker {
+	t := &tracker{plan: p, start: now, shards: make([]shardState, len(p.Shards))}
+	for i := range t.shards {
+		t.shards[i].lastChange = now
+	}
+	return t
+}
+
+// observe folds shard i's latest journal scan. Progress is measured in
+// complete cells; a torn tail or a header landing also counts as movement
+// (the shard is alive and writing, just mid-line).
+func (t *tracker) observe(i int, p batch.JournalProgress, now time.Time) {
+	s := &t.shards[i]
+	moved := p.Cells != s.progress.Cells ||
+		len(p.Specs) != len(s.progress.Specs) ||
+		p.Torn != s.progress.Torn
+	s.progress = p
+	if moved {
+		s.lastChange = now
+		s.stallSeen = false
+	}
+}
+
+// setPhase records a lifecycle transition (process exited, restarted,
+// exhausted its retries).
+func (t *tracker) setPhase(i int, ph shardPhase) { t.shards[i].phase = ph }
+
+func (t *tracker) addRestart(i int) { t.shards[i].restarts++ }
+
+// stalled reports shards that are supposed to be running but whose journal
+// has not moved for at least threshold — the never-writes / wedged-child
+// signal. Each stall episode is reported once; new movement rearms it.
+func (t *tracker) stalled(now time.Time, threshold time.Duration) []int {
+	var out []int
+	for i := range t.shards {
+		s := &t.shards[i]
+		if s.phase == phaseRunning && !s.stallSeen && now.Sub(s.lastChange) >= threshold {
+			s.stallSeen = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// done counts cells journaled across all shards.
+func (t *tracker) done() int {
+	n := 0
+	for i := range t.shards {
+		n += t.shards[i].progress.Cells
+	}
+	return n
+}
+
+// eta extrapolates the remaining wall time from the completion rate
+// observed so far (zero until the first cell lands; zero again when
+// everything is done).
+func (t *tracker) eta(now time.Time) time.Duration {
+	done, total := t.done(), t.plan.TotalUnits()
+	elapsed := now.Sub(t.start)
+	if done <= 0 || elapsed <= 0 || done >= total {
+		return 0
+	}
+	perUnit := elapsed / time.Duration(done)
+	return time.Duration(total-done) * perUnit
+}
+
+// render is the one-line progress display: per-shard done/total with
+// restart and state markers, the global fold, and the ETA.
+func (t *tracker) render(now time.Time) string {
+	var b strings.Builder
+	for i := range t.shards {
+		s := &t.shards[i]
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "s%d %d/%d", t.plan.Shards[i].Index, s.progress.Cells, t.plan.Shards[i].Units)
+		if s.restarts > 0 {
+			fmt.Fprintf(&b, " (r%d)", s.restarts)
+		}
+		switch {
+		case s.phase == phaseFailed:
+			b.WriteString(" FAILED")
+		case s.phase == phaseDone:
+			b.WriteString(" ok")
+		}
+	}
+	done, total := t.done(), t.plan.TotalUnits()
+	pct := 0
+	if total > 0 {
+		pct = 100 * done / total
+	}
+	fmt.Fprintf(&b, " | %d/%d units (%d%%)", done, total, pct)
+	if eta := t.eta(now); eta > 0 {
+		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+	}
+	return b.String()
+}

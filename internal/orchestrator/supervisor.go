@@ -1,0 +1,291 @@
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// Supervisor executes a Plan locally: one subprocess per shard, all sharing
+// the inherited environment (point LB_SPECCACHE_DIR at a directory first
+// and the children share eigensolves), supervised until every shard's
+// journal is complete. A shard that dies — crash, OOM kill, SIGKILL — is
+// restarted with -resume against its own journal, up to MaxRetries times,
+// with every restart reported loudly; the journals make restarts cheap
+// (only the dead shard's missing units re-run). While shards run, the
+// supervisor tails their journals and renders shard-aware progress to Log.
+type Supervisor struct {
+	Plan *Plan
+	// Command is the argv prefix spawning one shard when the shard's flags
+	// are appended — typically the lbbench binary. Required.
+	Command []string
+	// MaxRetries caps how many times one shard is restarted after dying: 0
+	// means never restart (fail fast on the first death), negative selects
+	// the default of 3. The cap is per shard: one flaky shard cannot
+	// consume the whole budget of a healthy sweep. The CLIs pass their
+	// -retries flag (default 3) through verbatim, so -retries 0 really
+	// disables restarts.
+	MaxRetries int
+	// Log receives progress lines and supervision events (default
+	// os.Stderr). Child stderr goes to per-shard files under Plan.Dir, so
+	// Log stays readable.
+	Log io.Writer
+	// Interval is the journal poll period (default 1s).
+	Interval time.Duration
+	// StallAfter is how long a running shard's journal may sit unchanged
+	// before a stall warning (default 60s). Warnings are per stall episode,
+	// not per poll.
+	StallAfter time.Duration
+}
+
+// Run spawns, supervises and waits for every shard. It returns nil when all
+// shards exited successfully (their journals are then complete and ready to
+// merge), the context error when cancelled (children are interrupted
+// gracefully so their journals stay resumable — re-running the same spawn
+// resumes them), and otherwise an error naming every shard that exhausted
+// its retries.
+func (s *Supervisor) Run(ctx context.Context) error {
+	if len(s.Command) == 0 {
+		return fmt.Errorf("orchestrator: no command to spawn shards with")
+	}
+	log := s.Log
+	if log == nil {
+		log = os.Stderr
+	}
+	interval := s.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	stallAfter := s.StallAfter
+	if stallAfter <= 0 {
+		stallAfter = 60 * time.Second
+	}
+	retries := s.MaxRetries
+	if retries < 0 {
+		retries = 3
+	}
+	if s.Plan.Dir != "" {
+		if err := os.MkdirAll(s.Plan.Dir, 0o755); err != nil {
+			return fmt.Errorf("orchestrator: %w", err)
+		}
+	}
+
+	tr := newTracker(s.Plan, time.Now())
+	// One incremental tailer per shard journal: each poll reads only the
+	// bytes appended since the last one, so the progress loop stays O(new
+	// cells) per tick no matter how large the journals grow.
+	tailers := make([]*batch.JournalTailer, len(s.Plan.Shards))
+	for i, sh := range s.Plan.Shards {
+		tailers[i] = batch.NewJournalTailer(sh.Journal)
+	}
+	var mu sync.Mutex // guards tr, tailers and log
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(log, "orchestrator: "+format+"\n", args...)
+	}
+
+	fmt.Fprintf(log, "orchestrator: %d shards x %d units, journals under %s\n",
+		len(s.Plan.Shards), s.Plan.TotalUnits(), s.Plan.Dir)
+
+	errs := make([]error, len(s.Plan.Shards))
+	var wg sync.WaitGroup
+	for i := range s.Plan.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.runShard(ctx, i, retries, &mu, tr, logf)
+		}(i)
+	}
+
+	// The progress loop owns the display: every tick it rescans each shard
+	// journal (cheap — one sequential read, no cells retained), folds the
+	// counts, and prints one line. It also fires the stall detector.
+	pollCtx, stopPoll := context.WithCancel(ctx)
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		last := ""
+		for {
+			select {
+			case <-pollCtx.Done():
+				return
+			case <-ticker.C:
+			}
+			mu.Lock()
+			now := time.Now()
+			for j := range s.Plan.Shards {
+				if p, err := tailers[j].Scan(); err == nil {
+					tr.observe(j, p, now)
+				}
+			}
+			for _, j := range tr.stalled(now, stallAfter) {
+				logf("shard %d/%d looks stalled: journal %s unchanged for %s",
+					s.Plan.Shards[j].Index, s.Plan.Shards[j].Count, s.Plan.Shards[j].Journal, stallAfter)
+			}
+			if line := tr.render(now); line != last {
+				last = line
+				fmt.Fprintf(log, "orchestrator: %s\n", line)
+			}
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	stopPoll()
+	<-loopDone
+	err := errors.Join(errs...)
+
+	// Final scan + line so the last render reflects the finished journals
+	// even when the ticker never fired between the last cell and exit.
+	mu.Lock()
+	now := time.Now()
+	for j := range s.Plan.Shards {
+		if p, scanErr := tailers[j].Scan(); scanErr == nil {
+			tr.observe(j, p, now)
+		}
+	}
+	fmt.Fprintf(log, "orchestrator: %s\n", tr.render(now))
+	mu.Unlock()
+
+	if ctx.Err() != nil {
+		logf("interrupted — journals are resumable; re-run the same spawn to resume")
+		return ctx.Err()
+	}
+	return err
+}
+
+// RunAndReport is the whole local pipeline behind `lbbench -spawn` and
+// `lborch`: supervise the plan's shards, then — when every journal is in —
+// merge and render the final report (the plan's Format) to stdout. The
+// return value is a process exit code, the same contract both CLIs
+// document: 0 success; 1 failed shards or failed units (the figure has
+// holes); 2 merge/render failure; 3 interrupted, with every journal left
+// resumable by re-running the same command.
+func (s *Supervisor) RunAndReport(ctx context.Context, streamAgg bool, stdout io.Writer) int {
+	log := s.Log
+	if log == nil {
+		log = os.Stderr
+	}
+	if err := s.Run(ctx); err != nil {
+		if ctx.Err() != nil {
+			return 3
+		}
+		fmt.Fprintf(log, "orchestrator: %v\n", err)
+		return 1
+	}
+	format := s.Plan.Format
+	if format == "" {
+		format = "table"
+	}
+	// A fresh context: the signal context may fire during the (local,
+	// cheap) gap re-run without invalidating the already-supervised work.
+	failed, err := s.Plan.MergeReport(context.Background(), format, streamAgg, stdout, log)
+	if err != nil {
+		fmt.Fprintf(log, "orchestrator: %v\n", err)
+		return 2
+	}
+	if failed > 0 {
+		fmt.Fprintf(log, "orchestrator: %d unit(s) failed — the figure has holes\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// runShard runs one shard to completion, restarting it against its own
+// journal when it dies. The first attempt resumes too when the journal
+// already exists (the orchestrator itself was killed and re-run).
+func (s *Supervisor) runShard(ctx context.Context, i, retries int, mu *sync.Mutex, tr *tracker, logf func(string, ...any)) error {
+	sh := s.Plan.Shards[i]
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			mu.Lock()
+			tr.setPhase(i, phaseFailed)
+			mu.Unlock()
+			return ctx.Err()
+		}
+		resume := journalExists(sh.Journal)
+		args := append(s.Command[1:len(s.Command):len(s.Command)], s.Plan.ShardArgs(i, resume)...)
+		err := s.spawnOnce(ctx, sh, args)
+		if err == nil {
+			mu.Lock()
+			tr.setPhase(i, phaseDone)
+			mu.Unlock()
+			return nil
+		}
+		if ctx.Err() != nil {
+			mu.Lock()
+			tr.setPhase(i, phaseFailed)
+			logf("shard %d/%d interrupted", sh.Index, sh.Count)
+			mu.Unlock()
+			return ctx.Err()
+		}
+		p, _ := batch.ScanJournalProgressFile(sh.Journal)
+		// A non-zero exit with a COMPLETE journal is not a crash: the child
+		// ran every unit and some failed (lbbench exits 1 for a figure with
+		// holes). Restarting would re-run the same deterministic failures;
+		// instead hand the journal to the merge, which reports the failed
+		// units exactly as a single-process sweep would.
+		if p.Done() {
+			mu.Lock()
+			tr.setPhase(i, phaseDone)
+			logf("shard %d/%d exited non-zero (%v) but its journal is complete (%d unit(s) failed) — not restarting; the merge will report them",
+				sh.Index, sh.Count, err, p.Failed)
+			mu.Unlock()
+			return nil
+		}
+		if attempt >= retries {
+			mu.Lock()
+			tr.setPhase(i, phaseFailed)
+			logf("shard %d/%d FAILED permanently after %d restart(s): %v — journal %s holds %d/%d units; see %s",
+				sh.Index, sh.Count, attempt, err, sh.Journal, p.Cells, sh.Units, s.stderrPath(sh))
+			mu.Unlock()
+			return fmt.Errorf("orchestrator: shard %d/%d failed after %d restart(s): %w", sh.Index, sh.Count, attempt, err)
+		}
+		mu.Lock()
+		tr.addRestart(i)
+		logf("shard %d/%d died (%v) with %d/%d units journaled — restarting with -resume (attempt %d/%d)",
+			sh.Index, sh.Count, err, p.Cells, sh.Units, attempt+1, retries)
+		mu.Unlock()
+	}
+}
+
+// spawnOnce runs one shard attempt: stdout is discarded (the shard's report
+// is meaningless mid-sweep; the merge renders the real one), stderr appends
+// to the shard's log file under Dir. Cancellation interrupts the child with
+// SIGINT — the graceful path that journals the cancellation and fsyncs —
+// and escalates to SIGKILL only if the child ignores it past WaitDelay.
+func (s *Supervisor) spawnOnce(ctx context.Context, sh Shard, args []string) error {
+	cmd := exec.CommandContext(ctx, s.Command[0], args...)
+	// nil stdout/devnull, file stderr: no pipes, so Wait returns the moment
+	// the child is reaped instead of lingering on descriptors a grandchild
+	// might hold.
+	cmd.Stdout = nil
+	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGINT) }
+	cmd.WaitDelay = 30 * time.Second
+	stderr, err := os.OpenFile(s.stderrPath(sh), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("orchestrator: %w", err)
+	}
+	defer stderr.Close()
+	cmd.Stderr = stderr
+	return cmd.Run()
+}
+
+// stderrPath is where shard sh's stderr accumulates across attempts.
+func (s *Supervisor) stderrPath(sh Shard) string {
+	return sh.Journal + ".stderr"
+}
+
+func journalExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

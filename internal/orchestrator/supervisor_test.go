@@ -1,0 +1,233 @@
+package orchestrator
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// stubCommand writes a /bin/sh script the supervisor can spawn in place of
+// lbbench and returns the argv prefix for it. The script sees the exact
+// shard flags a real child would.
+func stubCommand(t *testing.T, script string) []string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "stub.sh")
+	if err := os.WriteFile(path, []byte("#!/bin/sh\n"+script), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return []string{"/bin/sh", path}
+}
+
+// lastArg extracts the journal path (always the final shard flag) inside
+// the stub scripts.
+const lastArg = `j=""; for a in "$@"; do j="$a"; done`
+
+// TestSupervisorRestartsDeadShardWithResume is the supervision contract: a
+// child that dies is relaunched against its own journal, and the relaunch
+// carries -resume (the journal exists by then). The stub dies on its first
+// attempt — after creating the journal, like a real shard killed mid-run —
+// and succeeds only when it sees -resume among its flags.
+func TestSupervisorRestartsDeadShardWithResume(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPlan(testSpec(), 2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	s := &Supervisor{
+		Plan: p,
+		Command: stubCommand(t, lastArg+`
+case "$*" in
+  *-resume*) echo '{"spec":null}' > "$j"; exit 0 ;;
+  *) : > "$j"; echo "simulated crash" >&2; exit 7 ;;
+esac`),
+		MaxRetries: -1, // negative = the default cap of 3
+		Log:        &log,
+		Interval:   10 * time.Millisecond,
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
+	}
+	out := log.String()
+	if !strings.Contains(out, "restarting with -resume (attempt 1/3)") {
+		t.Fatalf("restart not reported:\n%s", out)
+	}
+	// Both shards needed exactly one restart; the stderr files hold the
+	// crash output across attempts.
+	for _, sh := range p.Shards {
+		b, err := os.ReadFile(sh.Journal + ".stderr")
+		if err != nil || !strings.Contains(string(b), "simulated crash") {
+			t.Fatalf("shard %d stderr log missing crash output: %v %q", sh.Index, err, b)
+		}
+	}
+}
+
+// TestSupervisorRetriesAreCapped: a shard that keeps dying fails the run
+// loudly after MaxRetries restarts instead of looping forever.
+func TestSupervisorRetriesAreCapped(t *testing.T) {
+	p, err := NewPlan(testSpec(), 1, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	s := &Supervisor{
+		Plan:       p,
+		Command:    stubCommand(t, "exit 9"),
+		MaxRetries: 2,
+		Log:        &log,
+		Interval:   10 * time.Millisecond,
+	}
+	err = s.Run(context.Background())
+	if err == nil {
+		t.Fatalf("Run succeeded despite permanent failure\nlog:\n%s", log.String())
+	}
+	if !strings.Contains(err.Error(), "shard 0/1 failed after 2 restart(s)") {
+		t.Fatalf("error does not name the shard and retry count: %v", err)
+	}
+	if !strings.Contains(log.String(), "FAILED permanently") {
+		t.Fatalf("permanent failure not reported loudly:\n%s", log.String())
+	}
+
+	// MaxRetries 0 fails fast: the first death is already permanent.
+	s.MaxRetries = 0
+	err = s.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "after 0 restart(s)") {
+		t.Fatalf("MaxRetries=0 did not fail on the first death: %v", err)
+	}
+}
+
+// TestSupervisorFirstAttemptResumesExistingJournal: re-running a spawn
+// whose orchestrator died resumes the existing journals instead of tripping
+// over them (the shard's -out open is O_EXCL).
+func TestSupervisorFirstAttemptResumesExistingJournal(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewPlan(testSpec(), 1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p.Shards[0].Journal, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := &Supervisor{
+		Plan: p,
+		// Succeed only when told to resume; a fresh -out against the
+		// existing journal would be the O_EXCL failure this test guards
+		// against.
+		Command:  stubCommand(t, `case "$*" in *-resume*) exit 0 ;; *) exit 3 ;; esac`),
+		Log:      &bytes.Buffer{},
+		Interval: 10 * time.Millisecond,
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestSupervisorCancellation: cancelling the context interrupts the
+// children and surfaces the context error without burning retries.
+func TestSupervisorCancellation(t *testing.T) {
+	p, err := NewPlan(testSpec(), 2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var log bytes.Buffer
+	s := &Supervisor{
+		Plan:     p,
+		Command:  stubCommand(t, "exec sleep 30"),
+		Log:      &log,
+		Interval: 10 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if !strings.Contains(log.String(), "journals are resumable") {
+		t.Fatalf("interruption not reported:\n%s", log.String())
+	}
+}
+
+// TestTrackerStallDetection drives the pure tracker: a running shard whose
+// journal stops moving is flagged once per episode, and movement rearms it.
+func TestTrackerStallDetection(t *testing.T) {
+	p, err := NewPlan(testSpec(), 2, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1000, 0)
+	tr := newTracker(p, t0)
+	threshold := 30 * time.Second
+
+	// Shard 1 writes, shard 0 never does.
+	tr.observe(1, scanOf(3), t0.Add(10*time.Second))
+	if got := tr.stalled(t0.Add(20*time.Second), threshold); got != nil {
+		t.Fatalf("stall flagged too early: %v", got)
+	}
+	if got := tr.stalled(t0.Add(31*time.Second), threshold); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("stalled = %v, want [0]", got)
+	}
+	// Shard 0's episode is reported once; shard 1 (quiet since t0+10s) now
+	// crosses the threshold itself.
+	if got := tr.stalled(t0.Add(40*time.Second), threshold); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("stalled = %v, want [1]", got)
+	}
+	// Movement rearms: shard 0 finally writes, goes quiet again, and is
+	// flagged a second time; shard 1's episode stays reported.
+	tr.observe(0, scanOf(1), t0.Add(45*time.Second))
+	if got := tr.stalled(t0.Add(80*time.Second), threshold); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("stalled = %v, want [0] again after rearm", got)
+	}
+	// Done shards never stall.
+	tr.setPhase(0, phaseDone)
+	tr.setPhase(1, phaseDone)
+	tr.shards[0].stallSeen = false
+	tr.shards[1].stallSeen = false
+	if got := tr.stalled(t0.Add(500*time.Second), threshold); got != nil {
+		t.Fatalf("done shards flagged stalled: %v", got)
+	}
+}
+
+// TestTrackerETA: the extrapolation is remaining units at the observed
+// per-unit rate.
+func TestTrackerETA(t *testing.T) {
+	p, err := NewPlan(testSpec(), 2, "d") // 8 units
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1000, 0)
+	tr := newTracker(p, t0)
+	if tr.eta(t0.Add(time.Minute)) != 0 {
+		t.Fatal("ETA before any progress should be unknown (0)")
+	}
+	// 2 units in 10s → 6 remaining at 5s/unit = 30s.
+	tr.observe(0, scanOf(2), t0.Add(10*time.Second))
+	if got := tr.eta(t0.Add(10 * time.Second)); got != 30*time.Second {
+		t.Fatalf("eta = %v, want 30s", got)
+	}
+	line := tr.render(t0.Add(10 * time.Second))
+	for _, want := range []string{"s0 2/", "2/8 units (25%)", "eta 30s"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("render %q missing %q", line, want)
+		}
+	}
+}
+
+// scanOf fakes a journal scan with n complete cells.
+func scanOf(n int) (p batch.JournalProgress) {
+	p.Cells = n
+	p.LastIndex = n - 1
+	return p
+}
