@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check staticcheck bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke ci
 
 build:
 	$(GO) build ./...
@@ -102,4 +102,35 @@ orchestrator-smoke:
 	grep -q "restarting with -resume" /tmp/lbbench-orch.log || \
 		echo "note: shard 2 finished before the kill — no restart needed"
 
-ci: build vet fmt-check staticcheck test bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke
+# The scenario dimension rides the whole pipeline with zero special cases:
+# a grid with static + adversarial + stochastic-arrival scenarios must be
+# byte-identical across worker counts, and an orchestrator-spawned 3-shard
+# run (one shard SIGKILLed mid-sweep and auto-resumed) must merge
+# byte-identical to the single-process sweep.
+SCENARIO_ARGS = -grid -topos torus,hypercube -algos diffusion,randpair \
+	-modes continuous,discrete -loads spike,uniform \
+	-scenarios static,adversarial-respike,poisson-arrivals \
+	-n 64 -seeds 1,2 -eps 1e-4 -rounds 96 -format csv
+
+scenario-smoke:
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	rm -rf /tmp/lbbench-ssweep
+	/tmp/lbbench $(SCENARIO_ARGS) -parallel 1 > /tmp/lbbench-scen-w1.csv
+	/tmp/lbbench $(SCENARIO_ARGS) -parallel 8 > /tmp/lbbench-scen-w8.csv
+	cmp /tmp/lbbench-scen-w1.csv /tmp/lbbench-scen-w8.csv
+	/tmp/lbbench $(SCENARIO_ARGS) -parallel 4 -spawn 3 -out /tmp/lbbench-ssweep > /tmp/lbbench-scen-merged.csv 2> /tmp/lbbench-scen-orch.log & \
+	opid=$$!; \
+	for i in $$(seq 1 600); do \
+		{ [ -f /tmp/lbbench-ssweep/shard-1.jsonl ] && [ "$$(wc -l < /tmp/lbbench-ssweep/shard-1.jsonl)" -ge 5 ]; } && break; \
+		kill -0 $$opid 2>/dev/null || break; \
+		sleep 0.1; \
+	done; \
+	cpid=$$(pgrep -f -- '-shard [1]/3' | head -1); \
+	if [ -n "$$cpid" ]; then echo "SIGKILLing shard 1/3 (pid $$cpid)"; kill -9 $$cpid; fi; \
+	wait $$opid
+	cmp /tmp/lbbench-scen-w1.csv /tmp/lbbench-scen-merged.csv
+	/tmp/lbbench $(SCENARIO_ARGS) -parallel 4 -stream-agg > /tmp/lbbench-scen-fullagg.csv
+	/tmp/lbbench $(SCENARIO_ARGS) -parallel 4 -merge /tmp/lbbench-ssweep/shard-0.jsonl,/tmp/lbbench-ssweep/shard-1.jsonl,/tmp/lbbench-ssweep/shard-2.jsonl -stream-agg > /tmp/lbbench-scen-mergedagg.csv
+	cmp /tmp/lbbench-scen-fullagg.csv /tmp/lbbench-scen-mergedagg.csv
+
+ci: build vet fmt-check staticcheck test bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke

@@ -6,7 +6,8 @@
 //	lbbench -exp all            # run every experiment (E1–E19, A1–A8)
 //	lbbench -exp E3,E4          # run selected experiments
 //	lbbench -exp E9 -seed 7     # change the seed
-//	lbbench -list               # list experiment ids
+//	lbbench -list               # list experiments, topologies, algorithms,
+//	                            # modes, workloads and scenarios
 //	lbbench -quick              # shrunk sweeps (CI-sized)
 //	lbbench -csv                # CSV instead of aligned tables
 //	lbbench -parallel 8         # fan each experiment's sweep over 8 workers
@@ -18,10 +19,25 @@
 //	        -modes continuous,discrete -loads spike,uniform \
 //	        -n 64 -seeds 1,2,3 -parallel 8 -format csv
 //
-// The grid expands to topologies × algorithms × modes × workloads × seeds
-// run units, executes them across -parallel workers with per-unit
-// deterministic RNG streams, and emits one aggregated report (table, csv or
-// json). Output is identical for any -parallel value.
+// The grid expands to topologies × algorithms × modes × workloads ×
+// scenarios × seeds run units, executes them across -parallel workers with
+// per-unit deterministic RNG streams, and emits one aggregated report
+// (table, csv or json). Output is identical for any -parallel value.
+//
+// Scenario sweeps (time-varying arrivals, adversarial spikes, topology
+// churn as a grid dimension):
+//
+//	lbbench -grid -topos torus,hypercube \
+//	        -scenarios static,adversarial-respike,poisson-arrivals:0.05 \
+//	        -n 64 -seeds 1,2,3 -rounds 128 -format csv
+//
+// Each non-static scenario injects its arrival process (and/or swaps the
+// active graph) between rounds of every unit, runs a fixed horizon
+// (-rounds, default 512) and reports peak backlog, steady-state
+// discrepancy and time-to-rebalance alongside the usual columns.
+// Scenarios take ':'-separated parameters (e.g. bursty:32:0.5); -list
+// names them all. Scenario grids shard, journal, resume, stream-aggregate,
+// spawn and merge exactly like any other grid dimension.
 //
 // Streaming and resuming (grids too large for memory, or runs that may be
 // interrupted):
@@ -103,7 +119,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/orchestrator"
+	"repro/internal/scenario"
 	"repro/internal/speccache"
+	"repro/internal/topoparse"
+	"repro/internal/workload"
 )
 
 // Exit codes. Distinct classes let scripts (and the CI smokes) tell a
@@ -122,20 +141,21 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for randomized components (experiment mode)")
 		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables (experiment mode)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		list     = flag.Bool("list", false, "list registered experiments, topologies, algorithms, modes, workloads and scenarios, then exit")
 		parallel = flag.Int("parallel", 0, "worker-pool width for sweeps (0 = GOMAXPROCS)")
 
-		grid   = flag.Bool("grid", false, "run a declarative sweep grid instead of the experiment tables")
-		topos  = flag.String("topos", "cycle,torus,hypercube", "grid: comma-separated topology names")
-		algos  = flag.String("algos", "diffusion,dimexchange,randpair", "grid: comma-separated algorithm names")
-		modes  = flag.String("modes", "continuous", "grid: comma-separated load modes (continuous,discrete)")
-		loads  = flag.String("loads", "spike,uniform", "grid: comma-separated workload kinds")
-		n      = flag.Int("n", 64, "grid: approximate node count per topology")
-		seeds  = flag.String("seeds", "1", "grid: comma-separated repetition seeds")
-		scale  = flag.Float64("scale", 1e6, "grid: load magnitude")
-		eps    = flag.Float64("eps", 1e-3, "grid: convergence target Φ ≤ ε·Φ⁰")
-		rounds = flag.Int("rounds", 0, "grid: round cap per unit (0 = theorem-derived default)")
-		format = flag.String("format", "table", "grid: output format (table, csv, json)")
+		grid      = flag.Bool("grid", false, "run a declarative sweep grid instead of the experiment tables")
+		topos     = flag.String("topos", "cycle,torus,hypercube", "grid: comma-separated topology names")
+		algos     = flag.String("algos", "diffusion,dimexchange,randpair", "grid: comma-separated algorithm names")
+		modes     = flag.String("modes", "continuous", "grid: comma-separated load modes (continuous,discrete)")
+		loads     = flag.String("loads", "spike,uniform", "grid: comma-separated workload kinds")
+		scenarios = flag.String("scenarios", "static", "grid: comma-separated scenarios (time-varying arrivals / adversarial spikes / topology churn; see -list)")
+		n         = flag.Int("n", 64, "grid: approximate node count per topology")
+		seeds     = flag.String("seeds", "1", "grid: comma-separated repetition seeds")
+		scale     = flag.Float64("scale", 1e6, "grid: load magnitude")
+		eps       = flag.Float64("eps", 1e-3, "grid: convergence target Φ ≤ ε·Φ⁰")
+		rounds    = flag.Int("rounds", 0, "grid: round cap per unit (0 = theorem-derived default)")
+		format    = flag.String("format", "table", "grid: output format (table, csv, json)")
 
 		out        = flag.String("out", "", "grid: stream finished cells to this JSONL journal (a directory with -spawn; resumable with -resume)")
 		resume     = flag.String("resume", "", "grid: replay completed cells from this JSONL journal, re-run only the rest (requires -out)")
@@ -151,9 +171,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Println(id)
-		}
+		printRegistries()
 		return
 	}
 	// Contradictory flag combinations and nonsense counts are refused here,
@@ -174,7 +192,8 @@ func main() {
 	}
 	gf := gridFlags{
 		topos: *topos, algos: *algos, modes: *modes, loads: *loads,
-		seeds: *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
+		scenarios: *scenarios,
+		seeds:     *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
 		workers: *parallel, format: *format, out: *out, resume: *resume,
 		shardI: shardI, shardM: shardM, merge: *merge,
 		streamAgg: *streamAgg, gridSet: *grid,
@@ -236,6 +255,7 @@ func runSpawn(f gridFlags, m int, emitMatrix string, retries int) int {
 		Algorithms: splitList(f.algos),
 		Modes:      splitList(f.modes),
 		Workloads:  splitList(f.loads),
+		Scenarios:  splitList(f.scenarios),
 		Seeds:      seedList,
 		N:          f.n,
 		Scale:      f.scale,
@@ -343,9 +363,38 @@ func runExperiments(exp string, seed int64, quick, csv bool, workers, shardI, sh
 	return 0
 }
 
+// printRegistries is the -list surface: every registered experiment,
+// topology, algorithm, mode, workload and scenario with a one-line
+// description, so discovering a sweep dimension never requires reading
+// source.
+func printRegistries() {
+	fmt.Println("experiments (-exp):")
+	for _, id := range experiments.IDs() {
+		fmt.Printf("  %s\n", id)
+	}
+	section := func(title string, entries [][2]string) {
+		fmt.Printf("\n%s:\n", title)
+		width := 0
+		for _, e := range entries {
+			if len(e[0]) > width {
+				width = len(e[0])
+			}
+		}
+		for _, e := range entries {
+			fmt.Printf("  %-*s  %s\n", width, e[0], e[1])
+		}
+	}
+	section("topologies (-topos)", topoparse.Descriptions())
+	section("algorithms (-algos)", core.AlgorithmDescriptions())
+	section("modes (-modes)", core.ModeDescriptions())
+	section("workloads (-loads)", workload.Descriptions())
+	section("scenarios (-scenarios)", scenario.Descriptions())
+}
+
 // gridFlags bundles the grid-mode flag values.
 type gridFlags struct {
 	topos, algos, modes, loads, seeds string
+	scenarios                         string
 	n                                 int
 	scale, eps                        float64
 	rounds, workers                   int
@@ -374,6 +423,7 @@ func runGrid(f gridFlags) int {
 		Algorithms: splitList(f.algos),
 		Modes:      splitList(f.modes),
 		Workloads:  splitList(f.loads),
+		Scenarios:  splitList(f.scenarios),
 		Seeds:      seedList,
 		N:          f.n,
 		Scale:      f.scale,

@@ -51,16 +51,17 @@ func run() int {
 		interval   = flag.Duration("progress", time.Second, "journal poll period for the progress display")
 		stall      = flag.Duration("stall-after", time.Minute, "warn when a running shard's journal is unchanged this long")
 
-		topos    = flag.String("topos", "cycle,torus,hypercube", "comma-separated topology names")
-		algos    = flag.String("algos", "diffusion,dimexchange,randpair", "comma-separated algorithm names")
-		modes    = flag.String("modes", "continuous", "comma-separated load modes (continuous,discrete)")
-		loads    = flag.String("loads", "spike,uniform", "comma-separated workload kinds")
-		n        = flag.Int("n", 64, "approximate node count per topology")
-		seeds    = flag.String("seeds", "1", "comma-separated repetition seeds")
-		scale    = flag.Float64("scale", 1e6, "load magnitude")
-		eps      = flag.Float64("eps", 1e-3, "convergence target Φ ≤ ε·Φ⁰")
-		rounds   = flag.Int("rounds", 0, "round cap per unit (0 = theorem-derived default)")
-		parallel = flag.Int("parallel", 0, "worker-pool width inside each shard subprocess (0 = GOMAXPROCS)")
+		topos     = flag.String("topos", "cycle,torus,hypercube", "comma-separated topology names")
+		algos     = flag.String("algos", "diffusion,dimexchange,randpair", "comma-separated algorithm names")
+		modes     = flag.String("modes", "continuous", "comma-separated load modes (continuous,discrete)")
+		loads     = flag.String("loads", "spike,uniform", "comma-separated workload kinds")
+		scenarios = flag.String("scenarios", "static", "comma-separated scenarios (time-varying arrivals / adversarial spikes / topology churn)")
+		n         = flag.Int("n", 64, "approximate node count per topology")
+		seeds     = flag.String("seeds", "1", "comma-separated repetition seeds")
+		scale     = flag.Float64("scale", 1e6, "load magnitude")
+		eps       = flag.Float64("eps", 1e-3, "convergence target Φ ≤ ε·Φ⁰")
+		rounds    = flag.Int("rounds", 0, "round cap per unit (0 = theorem-derived default)")
+		parallel  = flag.Int("parallel", 0, "worker-pool width inside each shard subprocess (0 = GOMAXPROCS)")
 
 		format    = flag.String("format", "table", "final report format (table, csv, json)")
 		streamAgg = flag.Bool("stream-agg", false, "render streaming-only aggregates+marginals instead of the per-cell report")
@@ -92,6 +93,7 @@ func run() int {
 		Algorithms: splitList(*algos),
 		Modes:      splitList(*modes),
 		Workloads:  splitList(*loads),
+		Scenarios:  splitList(*scenarios),
 		Seeds:      seedList,
 		N:          *n,
 		Scale:      *scale,

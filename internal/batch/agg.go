@@ -47,7 +47,7 @@ type marginalAcc struct {
 }
 
 // marginalDims names the collapsed dimensions in report order.
-var marginalDims = [...]string{"topology", "algorithm", "mode", "workload", "seed"}
+var marginalDims = [...]string{"topology", "algorithm", "mode", "workload", "scenario", "seed"}
 
 // NewAggSink returns an empty incremental aggregator.
 func NewAggSink() *AggSink {
@@ -118,12 +118,14 @@ func (s *AggSink) Cell(c Cell) error {
 			Algorithm: c.Algorithm,
 			Mode:      c.Mode,
 			Workload:  c.WorkloadName,
+			Scenario:  c.Scenario,
 		})
 	}
 	s.aggs[i].fold(c)
 
 	for dim, value := range [...]string{
-		c.Topology, c.Algorithm, c.Mode, c.WorkloadName, fmt.Sprintf("s%d", c.Seed),
+		c.Topology, c.Algorithm, c.Mode, c.WorkloadName,
+		scenarioDisplay(c.Scenario), fmt.Sprintf("s%d", c.Seed),
 	} {
 		s.marginal(dim, value).fold(c)
 	}
@@ -238,7 +240,7 @@ func (r *AggReport) Missing() int {
 // Report.AggregateTable).
 func (r *AggReport) Table() *trace.Table {
 	t := trace.NewTable(fmt.Sprintf("streaming aggregates — %d units", r.Units),
-		"topology", "algorithm", "mode", "workload",
+		"topology", "algorithm", "mode", "workload", "scenario",
 		"runs", "converged", "failed", "rounds (mean±sd)", "mean rounds/bound", "mean rms disc.")
 	for _, a := range r.Aggregates {
 		ratio := "-"
@@ -246,6 +248,7 @@ func (r *AggReport) Table() *trace.Table {
 			ratio = fmt.Sprintf("%.4g", a.MeanBoundRatio)
 		}
 		t.AddRow(a.Topology, a.Algorithm, a.Mode, a.Workload,
+			scenarioDisplay(a.Scenario),
 			fmt.Sprintf("%d", a.Runs), fmt.Sprintf("%d", a.Converged),
 			fmt.Sprintf("%d", a.Failed),
 			fmt.Sprintf("%.4g±%.3g", a.MeanRounds, a.SDRounds), ratio,
@@ -277,10 +280,11 @@ func (r *AggReport) MarginalTable() *trace.Table {
 // Report.RenderCSV) followed by a blank line and the marginal block. Bytes
 // are identical for any worker count and any shard split.
 func (r *AggReport) RenderCSV(w io.Writer) error {
-	aggs := trace.NewTable("", "topology", "algorithm", "mode", "workload",
+	aggs := trace.NewTable("", "topology", "algorithm", "mode", "workload", "scenario",
 		"runs", "converged", "failed", "mean_rounds", "sd_rounds", "mean_bound_ratio", "mean_rms_discrepancy")
 	for _, a := range r.Aggregates {
 		aggs.AddRow(a.Topology, a.Algorithm, a.Mode, a.Workload,
+			scenarioDisplay(a.Scenario),
 			fmt.Sprintf("%d", a.Runs), fmt.Sprintf("%d", a.Converged), fmt.Sprintf("%d", a.Failed),
 			fmt.Sprintf("%.8g", a.MeanRounds), fmt.Sprintf("%.8g", a.SDRounds),
 			fmt.Sprintf("%.8g", a.MeanBoundRatio), fmt.Sprintf("%.8g", a.MeanRMS))

@@ -76,7 +76,7 @@ func TestAggSinkMarginals(t *testing.T) {
 	rep := agg.Report()
 	total := rep.Units
 	perDim := map[string]int{}
-	rank := map[string]int{"topology": 0, "algorithm": 1, "mode": 2, "workload": 3, "seed": 4}
+	rank := map[string]int{"topology": 0, "algorithm": 1, "mode": 2, "workload": 3, "scenario": 4, "seed": 5}
 	last := 0
 	for _, m := range rep.Marginals {
 		r, ok := rank[m.Dimension]

@@ -1,6 +1,6 @@
 // Package batch is the parallel batch-experiment engine: it takes a
 // declarative grid specification (topologies × algorithms × modes ×
-// workloads × seeds), expands it into independent run units, fans the units
+// workloads × scenarios × seeds), expands it into independent run units, fans the units
 // out over internal/parallel's worker pool with per-unit deterministic RNG
 // streams, and aggregates the outcomes into a single report with per-cell
 // convergence statistics (rounds vs. the theorem bound, final discrepancy,
@@ -36,6 +36,8 @@ import (
 	"hash/fnv"
 	"strings"
 
+	"repro/internal/parallel"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -55,6 +57,13 @@ type Spec struct {
 	Modes []string `json:"modes"`
 	// Workloads are workload kind names ("spike", "uniform", …).
 	Workloads []string `json:"workloads"`
+	// Scenarios are scenario descriptions ("static", "poisson-arrivals:0.05",
+	// "adversarial-respike", "edge-churn:0.2", …) — the time-varying
+	// dimension: each unit's run injects that scenario's arrivals and
+	// topology churn between rounds. Default {"static"}, which reproduces
+	// the pre-scenario engine exactly (same unit keys, same RNG streams,
+	// same journal bytes).
+	Scenarios []string `json:"scenarios,omitempty"`
 	// Seeds are the per-repetition seeds (default {1}). Each seed is one run
 	// unit per cell; the report aggregates across seeds.
 	Seeds []int64 `json:"seeds"`
@@ -119,6 +128,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Seeds) == 0 {
 		s.Seeds = []int64{1}
 	}
+	if len(s.Scenarios) == 0 {
+		s.Scenarios = []string{"static"}
+	}
 	if s.Scale <= 0 {
 		s.Scale = 1e6
 	}
@@ -129,7 +141,7 @@ func (s Spec) withDefaults() Spec {
 }
 
 // Unit is one expanded run: a single (topology, algorithm, mode, workload,
-// seed) combination at a fixed position in the grid.
+// scenario, seed) combination at a fixed position in the grid.
 type Unit struct {
 	// Index is the unit's position in expansion order.
 	Index int `json:"index"`
@@ -141,20 +153,54 @@ type Unit struct {
 	Workload workload.Kind `json:"-"`
 	// WorkloadName is Workload.String(), kept for emitters.
 	WorkloadName string `json:"workload"`
+	// Scenario is the canonical scenario string, with one exception: the
+	// static scenario is stored as "" (and omitted from JSON), so unit
+	// keys, seed streams and journal bytes of scenario-free sweeps are
+	// byte-identical to those of the pre-scenario engine — old journals
+	// replay and merge without translation.
+	Scenario string `json:"scenario,omitempty"`
+	// ScenarioSpec is the parsed scenario (zero value for static).
+	ScenarioSpec scenario.Spec `json:"-"`
 	// Seed is the unit's repetition seed from Spec.Seeds.
 	Seed int64 `json:"seed"`
 }
 
 // Key is the unit's stable identity string. RNG streams are derived from it
 // (not from Index), so a unit's result does not change when other
-// dimensions are added to the grid around it.
+// dimensions are added to the grid around it. Static units keep the
+// five-segment legacy form; a non-static scenario appends one segment.
 func (u Unit) Key() string {
-	return fmt.Sprintf("%s/%s/%s/%s/s%d", u.Topology, u.Algorithm, u.Mode, u.WorkloadName, u.Seed)
+	k := fmt.Sprintf("%s/%s/%s/%s/s%d", u.Topology, u.Algorithm, u.Mode, u.WorkloadName, u.Seed)
+	if u.Scenario != "" {
+		k += "/" + u.Scenario
+	}
+	return k
 }
 
 // CellKey is the unit's identity without the seed — the aggregation key.
 func (u Unit) CellKey() string {
-	return fmt.Sprintf("%s/%s/%s/%s", u.Topology, u.Algorithm, u.Mode, u.WorkloadName)
+	k := fmt.Sprintf("%s/%s/%s/%s", u.Topology, u.Algorithm, u.Mode, u.WorkloadName)
+	if u.Scenario != "" {
+		k += "/" + u.Scenario
+	}
+	return k
+}
+
+// ScenarioName is the display form of the unit's scenario: "static" for
+// the legacy empty encoding, the canonical string otherwise.
+func (u Unit) ScenarioName() string {
+	if u.Scenario == "" {
+		return "static"
+	}
+	return u.Scenario
+}
+
+// ScenarioSeed is the unit's scenario RNG root — stream 2 of the unit's
+// key-derived seed sequence (0 is the workload draw, 1 the algorithm), so
+// a scenario's randomness never perturbs the other streams and is
+// identical for any worker count or shard split.
+func (u Unit) ScenarioSeed() int64 {
+	return parallel.DeriveSeed(u.seedBase(), 2)
 }
 
 // seedBase hashes the unit key into the root of its private seed sequence.
@@ -176,7 +222,7 @@ func (s Spec) Validate() error {
 
 // Expand validates spec and produces the exhaustive, duplicate-free unit
 // list in deterministic nested order (topology, algorithm, mode, workload,
-// seed — the last dimension varying fastest).
+// scenario, seed — the last dimension varying fastest).
 func Expand(spec Spec) ([]Unit, error) {
 	spec = spec.withDefaults()
 	if err := spec.validShard(); err != nil {
@@ -206,6 +252,10 @@ func Expand(spec Spec) ([]Unit, error) {
 		}
 		kinds[i] = k
 	}
+	scnNames, scnSpecs, err := parseScenarios(spec.Scenarios)
+	if err != nil {
+		return nil, err
+	}
 	for _, m := range modes {
 		if m != "continuous" && m != "discrete" {
 			return nil, fmt.Errorf("batch: unknown mode %q (want continuous or discrete)", m)
@@ -219,21 +269,25 @@ func Expand(spec Spec) ([]Unit, error) {
 		seen[s] = true
 	}
 
-	units := make([]Unit, 0, len(topos)*len(algos)*len(modes)*len(kinds)*len(spec.Seeds))
+	units := make([]Unit, 0, len(topos)*len(algos)*len(modes)*len(kinds)*len(scnNames)*len(spec.Seeds))
 	for _, topo := range topos {
 		for _, alg := range algos {
 			for _, mode := range modes {
 				for wi, kind := range kinds {
-					for _, seed := range spec.Seeds {
-						units = append(units, Unit{
-							Index:        len(units),
-							Topology:     topo,
-							Algorithm:    alg,
-							Mode:         mode,
-							Workload:     kind,
-							WorkloadName: wlNames[wi],
-							Seed:         seed,
-						})
+					for si, scn := range scnNames {
+						for _, seed := range spec.Seeds {
+							units = append(units, Unit{
+								Index:        len(units),
+								Topology:     topo,
+								Algorithm:    alg,
+								Mode:         mode,
+								Workload:     kind,
+								WorkloadName: wlNames[wi],
+								Scenario:     scn,
+								ScenarioSpec: scnSpecs[si],
+								Seed:         seed,
+							})
+						}
 					}
 				}
 			}
@@ -243,6 +297,75 @@ func Expand(spec Spec) ([]Unit, error) {
 		return nil, fmt.Errorf("batch: empty grid (every dimension needs at least one entry)")
 	}
 	return units, nil
+}
+
+// parseScenarios normalizes and parses the scenario dimension. Entries are
+// canonicalized (defaults applied) before the duplicate check, so
+// "bursty" and "bursty:16:0.25" cannot silently expand to two copies of
+// one process; the static scenario canonicalizes to "" (the legacy
+// journal-compatible encoding — see Unit.Scenario).
+func parseScenarios(in []string) ([]string, []scenario.Spec, error) {
+	raw, err := normalize("scenario", in)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := make([]string, len(raw))
+	specs := make([]scenario.Spec, len(raw))
+	seen := map[string]bool{}
+	for i, r := range raw {
+		sp, err := scenario.Parse(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("batch: %w", err)
+		}
+		canon := sp.String()
+		if seen[canon] {
+			return nil, nil, fmt.Errorf("batch: duplicate scenario entry %q (canonical form %q)", r, canon)
+		}
+		seen[canon] = true
+		specs[i] = sp
+		if !sp.IsStatic() {
+			names[i] = canon
+		}
+	}
+	return names, specs, nil
+}
+
+// CanonicalScenarios returns the spec's scenario dimension in display
+// canonical form ("static" spelled out) — what SameGrid compares and the
+// emitters serialize, stable across spellings of the same process.
+func (s Spec) CanonicalScenarios() ([]string, error) {
+	names, _, err := parseScenarios(s.withDefaults().Scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range names {
+		if n == "" {
+			names[i] = "static"
+		}
+	}
+	return names, nil
+}
+
+// headerCanonical returns s with an all-static scenario dimension elided —
+// the legacy serialization, so journals of scenario-free sweeps (defaulted
+// or spelled "static" explicitly) carry headers byte-identical to the
+// pre-scenario engine's. Lists the parser rejects pass through untouched;
+// expansion reports the real error.
+func (s Spec) headerCanonical() Spec {
+	if len(s.Scenarios) == 0 {
+		return s
+	}
+	names, _, err := parseScenarios(s.Scenarios)
+	if err != nil {
+		return s
+	}
+	for _, n := range names {
+		if n != "" {
+			return s
+		}
+	}
+	s.Scenarios = nil
+	return s
 }
 
 // validShard rejects shard fields set inconsistently (bypassing Shard).
@@ -263,7 +386,7 @@ func (s Spec) validShard() error {
 // it to size a shard split before spawning anything.
 func (s Spec) UnitCount() int {
 	s = s.withDefaults()
-	return len(s.Topologies) * len(s.Algorithms) * len(s.Modes) * len(s.Workloads) * len(s.Seeds)
+	return len(s.Topologies) * len(s.Algorithms) * len(s.Modes) * len(s.Workloads) * len(s.Scenarios) * len(s.Seeds)
 }
 
 // OwnedUnitCount is how many of the expansion's units this spec's shard

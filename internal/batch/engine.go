@@ -62,6 +62,17 @@ type Outcome struct {
 	// theorem applies) and BoundName the theorem behind it.
 	Bound     float64 `json:"bound,omitempty"`
 	BoundName string  `json:"bound_name,omitempty"`
+	// Scenario metrics, populated by non-static scenario runs only (all
+	// zero — and omitted from journals — for static units, keeping
+	// scenario-free journal bytes identical to the pre-scenario engine):
+	// PeakPhi is the largest potential observed over the run (peak
+	// backlog), SteadyRMS the mean RMS discrepancy over the final quarter
+	// of rounds (steady state under ongoing arrivals), and RebalanceRounds
+	// how many rounds after the last load injection the potential needed
+	// to fall back under the target (0 when it never did — see Converged).
+	PeakPhi         float64 `json:"peak_phi,omitempty"`
+	SteadyRMS       float64 `json:"steady_rms,omitempty"`
+	RebalanceRounds int     `json:"rebalance_rounds,omitempty"`
 }
 
 // RunFunc executes one run unit on graph g from the given initial loads.

@@ -183,6 +183,21 @@ func SameGrid(a, b Spec) error {
 				"merge only shards of one sweep, or concatenate and replay through -resume (which matches by Key)", d.name, an, bn)
 		}
 	}
+	// Scenarios compare in canonical form, so "bursty" matches
+	// "bursty:16:0.25" (same process) and an old scenario-free journal
+	// header (nil → default {"static"}) matches a defaulted new one.
+	as, err := a.CanonicalScenarios()
+	if err != nil {
+		return err
+	}
+	bs, err := b.CanonicalScenarios()
+	if err != nil {
+		return err
+	}
+	if !equalStrings(as, bs) {
+		return fmt.Errorf("scenario dimensions differ (%v vs %v) — these journals index different grids; "+
+			"merge only shards of one sweep, or concatenate and replay through -resume (which matches by Key)", as, bs)
+	}
 	if len(a.Seeds) != len(b.Seeds) {
 		return fmt.Errorf("seed lists differ (%v vs %v)", a.Seeds, b.Seeds)
 	}

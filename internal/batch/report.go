@@ -35,12 +35,15 @@ func (c *Cell) finish(n int) {
 }
 
 // Aggregate summarizes one grid cell (topology × algorithm × mode ×
-// workload) across its seeds.
+// workload × scenario) across its seeds.
 type Aggregate struct {
 	Topology  string `json:"topology"`
 	Algorithm string `json:"algorithm"`
 	Mode      string `json:"mode"`
 	Workload  string `json:"workload"`
+	// Scenario is the cell's scenario in the legacy encoding ("" = static,
+	// omitted from JSON — scenario-free reports keep their old shape).
+	Scenario string `json:"scenario,omitempty"`
 	// Runs and Converged count the cell's units and how many reached their
 	// target; Failed counts errored/cancelled units (excluded from means).
 	Runs      int `json:"runs"`
@@ -143,6 +146,7 @@ func (r *Report) aggregate() {
 				Algorithm: c.Algorithm,
 				Mode:      c.Mode,
 				Workload:  c.WorkloadName,
+				Scenario:  c.Scenario,
 			})
 		}
 		r.Aggregates[i].fold(c)
@@ -152,11 +156,20 @@ func (r *Report) aggregate() {
 	}
 }
 
+// scenarioDisplay renders a stored scenario string for humans: the legacy
+// empty encoding spelled out as "static".
+func scenarioDisplay(s string) string {
+	if s == "" {
+		return "static"
+	}
+	return s
+}
+
 // Table renders every cell as a trace.Table, including wall times (the
 // human-facing view; use RenderCSV/RenderJSON for deterministic output).
 func (r *Report) Table() *trace.Table {
 	t := trace.NewTable(fmt.Sprintf("batch grid — %d units", len(r.Cells)),
-		"topology", "algorithm", "mode", "workload", "seed",
+		"topology", "algorithm", "mode", "workload", "scenario", "seed",
 		"rounds", "converged", "bound", "rounds/bound", "rms disc.", "wall", "error")
 	for _, c := range r.Cells {
 		bound, ratio := "-", "-"
@@ -165,6 +178,7 @@ func (r *Report) Table() *trace.Table {
 			ratio = fmt.Sprintf("%.4g", c.BoundRatio)
 		}
 		t.AddRow(c.Topology, c.Algorithm, c.Mode, c.WorkloadName,
+			scenarioDisplay(c.Scenario),
 			fmt.Sprintf("%d", c.Seed), fmt.Sprintf("%d", c.Rounds),
 			fmt.Sprintf("%v", c.Converged), bound, ratio,
 			fmt.Sprintf("%.4g", c.RMSDiscrepancy),
@@ -176,7 +190,7 @@ func (r *Report) Table() *trace.Table {
 // AggregateTable renders the per-grid-cell summary across seeds.
 func (r *Report) AggregateTable() *trace.Table {
 	t := trace.NewTable("batch grid — aggregates across seeds",
-		"topology", "algorithm", "mode", "workload",
+		"topology", "algorithm", "mode", "workload", "scenario",
 		"runs", "converged", "failed", "rounds (mean±sd)", "mean rounds/bound", "mean rms disc.")
 	for _, a := range r.Aggregates {
 		ratio := "-"
@@ -184,6 +198,7 @@ func (r *Report) AggregateTable() *trace.Table {
 			ratio = fmt.Sprintf("%.4g", a.MeanBoundRatio)
 		}
 		t.AddRow(a.Topology, a.Algorithm, a.Mode, a.Workload,
+			scenarioDisplay(a.Scenario),
 			fmt.Sprintf("%d", a.Runs), fmt.Sprintf("%d", a.Converged),
 			fmt.Sprintf("%d", a.Failed),
 			fmt.Sprintf("%.4g±%.3g", a.MeanRounds, a.SDRounds), ratio,
@@ -195,15 +210,19 @@ func (r *Report) AggregateTable() *trace.Table {
 // RenderCSV writes the per-cell grid followed by a blank line and the
 // aggregate block. The output is byte-identical for any worker count.
 func (r *Report) RenderCSV(w io.Writer) error {
-	cells := trace.NewTable("", "topology", "algorithm", "mode", "workload", "seed",
-		"rounds", "converged", "phi_start", "phi_end", "bound", "bound_name", "bound_ratio", "rms_discrepancy", "error")
+	cells := trace.NewTable("", "topology", "algorithm", "mode", "workload", "scenario", "seed",
+		"rounds", "converged", "phi_start", "phi_end", "bound", "bound_name", "bound_ratio", "rms_discrepancy",
+		"peak_phi", "steady_rms", "rebalance_rounds", "error")
 	for _, c := range r.Cells {
 		cells.AddRow(c.Topology, c.Algorithm, c.Mode, c.WorkloadName,
+			scenarioDisplay(c.Scenario),
 			fmt.Sprintf("%d", c.Seed), fmt.Sprintf("%d", c.Rounds),
 			fmt.Sprintf("%v", c.Converged),
 			fmt.Sprintf("%.8g", c.PhiStart), fmt.Sprintf("%.8g", c.PhiEnd),
 			fmt.Sprintf("%.8g", c.Bound), c.BoundName,
-			fmt.Sprintf("%.8g", c.BoundRatio), fmt.Sprintf("%.8g", c.RMSDiscrepancy), c.Err)
+			fmt.Sprintf("%.8g", c.BoundRatio), fmt.Sprintf("%.8g", c.RMSDiscrepancy),
+			fmt.Sprintf("%.8g", c.PeakPhi), fmt.Sprintf("%.8g", c.SteadyRMS),
+			fmt.Sprintf("%d", c.RebalanceRounds), c.Err)
 	}
 	if err := cells.RenderCSV(w); err != nil {
 		return err
@@ -211,10 +230,11 @@ func (r *Report) RenderCSV(w io.Writer) error {
 	if _, err := io.WriteString(w, "\n"); err != nil {
 		return err
 	}
-	aggs := trace.NewTable("", "topology", "algorithm", "mode", "workload",
+	aggs := trace.NewTable("", "topology", "algorithm", "mode", "workload", "scenario",
 		"runs", "converged", "failed", "mean_rounds", "sd_rounds", "mean_bound_ratio", "mean_rms_discrepancy")
 	for _, a := range r.Aggregates {
 		aggs.AddRow(a.Topology, a.Algorithm, a.Mode, a.Workload,
+			scenarioDisplay(a.Scenario),
 			fmt.Sprintf("%d", a.Runs), fmt.Sprintf("%d", a.Converged), fmt.Sprintf("%d", a.Failed),
 			fmt.Sprintf("%.8g", a.MeanRounds), fmt.Sprintf("%.8g", a.SDRounds),
 			fmt.Sprintf("%.8g", a.MeanBoundRatio), fmt.Sprintf("%.8g", a.MeanRMS))

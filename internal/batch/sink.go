@@ -120,8 +120,12 @@ type specHeader struct {
 	Spec *Spec `json:"spec"`
 }
 
-// Spec writes the journal header line (implements SpecWriter).
+// Spec writes the journal header line (implements SpecWriter). An
+// all-static scenario dimension is serialized as absent — the legacy
+// header form — so scenario-free journals stay byte-identical across
+// engine versions and golden-journal comparisons keep holding.
 func (s *JSONLSink) Spec(spec Spec) error {
+	spec = spec.headerCanonical()
 	b, err := json.Marshal(specHeader{Spec: &spec})
 	if err != nil {
 		return fmt.Errorf("batch: journal: marshal spec: %w", err)

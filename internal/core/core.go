@@ -29,6 +29,7 @@ import (
 	"repro/internal/dimexchange"
 	"repro/internal/graph"
 	"repro/internal/randpair"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/speccache"
 )
@@ -73,6 +74,28 @@ func (a Algorithm) String() string {
 		return "roundrobin"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// AlgorithmDescriptions returns each algorithm name and a one-line
+// description, in declaration order — the -list surface.
+func AlgorithmDescriptions() [][2]string {
+	return [][2]string{
+		{"diffusion", "the paper's Algorithm 1: balance with every neighbour, (ℓᵢ−ℓⱼ)/(4·max(dᵢ,dⱼ))"},
+		{"dimexchange", "random-matching dimension exchange (the [12] baseline)"},
+		{"randpair", "the paper's Algorithm 2: uniformly random partners, topology-free"},
+		{"firstorder", "Cybenko's first-order scheme Lᵗ⁺¹ = M·Lᵗ (continuous only)"},
+		{"secondorder", "β-accelerated second-order scheme of [15] (continuous only)"},
+		{"roundrobin", "deterministic dimension exchange on an edge-coloring schedule"},
+	}
+}
+
+// ModeDescriptions returns each load-model name and a one-line
+// description — the -list surface.
+func ModeDescriptions() [][2]string {
+	return [][2]string{
+		{"continuous", "arbitrarily divisible load (the ideal model of §2.1)"},
+		{"discrete", "indivisible tokens with floor transfers (§2.2/§4.2)"},
 	}
 }
 
@@ -128,6 +151,18 @@ type Config struct {
 	// Workers enables the goroutine-parallel executor for Diffusion
 	// (default 1; results are identical for any value).
 	Workers int
+	// Scenario drives time-varying arrivals and topology churn between
+	// rounds (the §5 dynamic model as a declarative run dimension). The
+	// zero value is the static scenario: a one-shot start on a fixed
+	// graph, byte-identical to pre-scenario runs. Non-static scenarios run
+	// a fixed horizon (MaxRounds, or scenario.DefaultHorizon) unless the
+	// scenario is arrival-free and the target is reached early, and report
+	// PeakPhi/SteadyRMS/RebalanceRounds alongside the usual metrics.
+	Scenario scenario.Spec
+	// ScenarioSeed drives the scenario's own RNG stream, kept separate
+	// from Seed so enabling a scenario never perturbs the algorithm's
+	// draws (default: Seed).
+	ScenarioSeed int64
 }
 
 // Result reports a completed run.
@@ -148,10 +183,21 @@ type Result struct {
 	Delta   int
 	// Bound is the paper's round bound for this configuration: Theorem 4
 	// (Diffusion/Continuous), Theorem 6 (Diffusion/Discrete), Theorem 12
-	// or 14 shape for RandomPartners; 0 when no bound applies.
+	// or 14 shape for RandomPartners; 0 when no bound applies (the
+	// one-shot theorems never apply to runs with ongoing arrivals, so
+	// scenario runs always report 0).
 	Bound float64
 	// BoundName names the theorem behind Bound ("" when none).
 	BoundName string
+	// Scenario metrics, populated by non-static scenario runs only:
+	// PeakPhi is the largest Φ observed (peak backlog), SteadyRMS the mean
+	// RMS discrepancy over the final quarter of rounds (steady state under
+	// ongoing arrivals), RebalanceRounds the rounds the system needed
+	// after the last load injection to get back under the target (0 when
+	// it never did — see Converged).
+	PeakPhi         float64
+	SteadyRMS       float64
+	RebalanceRounds int
 }
 
 // Balance validates cfg, runs it to completion, and reports the outcome
@@ -198,6 +244,18 @@ func Balance(cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("core: λ₂: %w", err)
 		}
 		res.Lambda2 = l2
+	}
+
+	// Non-static scenarios run through the round-loop hook: arrivals are
+	// injected and the active graph swapped between rounds, and the
+	// scenario metrics are tracked alongside the trajectory. The one-shot
+	// theorem bounds below never apply to ongoing-arrival runs, so the
+	// scenario path reports none.
+	if !cfg.Scenario.IsStatic() {
+		if err := runScenario(cfg, &res); err != nil {
+			return Result{}, err
+		}
+		return res, nil
 	}
 
 	sys, err := buildSystem(cfg)
@@ -251,42 +309,56 @@ func Balance(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// buildSystem constructs the requested stepper.
+// buildSystem constructs the requested stepper on the config's graph and
+// initial loads.
 func buildSystem(cfg Config) (sim.System, error) {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	return buildSystemOn(cfg, cfg.Graph, cfg.Loads, rand.New(rand.NewSource(cfg.Seed)), speccache.Shared())
+}
+
+// buildSystemOn constructs the requested stepper on an explicit graph and
+// load vector with an explicit RNG — the factory the scenario round loop
+// uses to rebuild a stepper when the active graph changes mid-run. The
+// persistent rng keeps a randomized algorithm's draw stream continuous
+// across rebuilds, so a run's randomness does not restart with each churn.
+// spectra supplies the second-order scheme's γ: the shared process-wide
+// cache for graphs that recur across units, a run-local cache for the
+// transient per-round subgraphs a churn scenario draws (which would
+// otherwise each cost an eigensolve entry in — and disk spill from — the
+// shared cache, never to be looked up again).
+func buildSystemOn(cfg Config, g *graph.G, loads []float64, rng *rand.Rand, spectra *speccache.Cache) (sim.System, error) {
 	switch cfg.Algorithm {
 	case Diffusion:
 		if cfg.Mode == Discrete {
-			st := diffusion.NewDiscrete(cfg.Graph, toTokens(cfg.Loads))
+			st := diffusion.NewDiscrete(g, toTokens(loads))
 			st.Workers = cfg.Workers
 			return st, nil
 		}
-		st := diffusion.NewContinuous(cfg.Graph, cfg.Loads)
+		st := diffusion.NewContinuous(g, loads)
 		st.Workers = cfg.Workers
 		return st, nil
 	case DimensionExchange:
 		if cfg.Mode == Discrete {
-			return dimexchange.NewDiscrete(cfg.Graph, toTokens(cfg.Loads), rng), nil
+			return dimexchange.NewDiscrete(g, toTokens(loads), rng), nil
 		}
-		return dimexchange.NewContinuous(cfg.Graph, cfg.Loads, rng), nil
+		return dimexchange.NewContinuous(g, loads, rng), nil
 	case RandomPartners:
 		if cfg.Mode == Discrete {
-			return randpair.NewDiscrete(toTokens(cfg.Loads), rng), nil
+			return randpair.NewDiscrete(toTokens(loads), rng), nil
 		}
-		return randpair.NewContinuous(cfg.Loads, rng), nil
+		return randpair.NewContinuous(loads, rng), nil
 	case FirstOrder:
-		return diffusion.NewFirstOrder(cfg.Graph, cfg.Loads), nil
+		return diffusion.NewFirstOrder(g, loads), nil
 	case SecondOrder:
-		gamma, err := speccache.Gamma(cfg.Graph)
+		gamma, err := spectra.Gamma(g)
 		if err != nil {
 			return nil, fmt.Errorf("core: γ for second-order β: %w", err)
 		}
-		return diffusion.NewSecondOrder(cfg.Graph, cfg.Loads, diffusion.OptimalBeta(gamma)), nil
+		return diffusion.NewSecondOrder(g, loads, diffusion.OptimalBeta(gamma)), nil
 	case RoundRobinExchange:
 		if cfg.Mode == Discrete {
-			return dimexchange.NewRoundRobinDiscrete(cfg.Graph, toTokens(cfg.Loads)), nil
+			return dimexchange.NewRoundRobinDiscrete(g, toTokens(loads)), nil
 		}
-		return dimexchange.NewRoundRobin(cfg.Graph, cfg.Loads), nil
+		return dimexchange.NewRoundRobin(g, loads), nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
 	}

@@ -9,8 +9,8 @@ import (
 )
 
 // BalanceGrid expands the declarative sweep spec into independent run units
-// and executes every (topology × algorithm × mode × workload × seed)
-// combination through Balance on the batch engine's worker pool. Per-unit
+// and executes every (topology × algorithm × mode × workload × scenario ×
+// seed) combination through Balance on the batch engine's worker pool. Per-unit
 // RNG streams are derived from each unit's identity, so the aggregated
 // report is identical for any Spec.Workers value — one invocation with
 // Workers = GOMAXPROCS reproduces a whole paper figure's grid at full
@@ -126,24 +126,29 @@ func balanceRunFunc(spec batch.Spec) batch.RunFunc {
 			mode = Discrete
 		}
 		res, err := Balance(Config{
-			Graph:     g,
-			Algorithm: alg,
-			Mode:      mode,
-			Loads:     loads,
-			Epsilon:   spec.Epsilon,
-			MaxRounds: spec.MaxRounds,
-			Seed:      nonZeroSeed(algoSeed),
+			Graph:        g,
+			Algorithm:    alg,
+			Mode:         mode,
+			Loads:        loads,
+			Epsilon:      spec.Epsilon,
+			MaxRounds:    spec.MaxRounds,
+			Seed:         nonZeroSeed(algoSeed),
+			Scenario:     u.ScenarioSpec,
+			ScenarioSeed: nonZeroSeed(u.ScenarioSeed()),
 		})
 		if err != nil {
 			return batch.Outcome{}, fmt.Errorf("%s: %w", u.Key(), err)
 		}
 		return batch.Outcome{
-			Rounds:    res.Rounds,
-			Converged: res.Converged,
-			PhiStart:  res.PhiStart,
-			PhiEnd:    res.PhiEnd,
-			Bound:     res.Bound,
-			BoundName: res.BoundName,
+			Rounds:          res.Rounds,
+			Converged:       res.Converged,
+			PhiStart:        res.PhiStart,
+			PhiEnd:          res.PhiEnd,
+			Bound:           res.Bound,
+			BoundName:       res.BoundName,
+			PeakPhi:         res.PeakPhi,
+			SteadyRMS:       res.SteadyRMS,
+			RebalanceRounds: res.RebalanceRounds,
 		}, nil
 	}
 }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/diffusion"
+	"repro/internal/dimexchange"
+	"repro/internal/randpair"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/speccache"
+)
+
+// runScenario drives one balancing run under a non-static scenario: each
+// round it asks the scenario instance for the active graph (rebuilding the
+// stepper — with the current loads and a persistent algorithm RNG — only
+// when the graph actually changes), advances the stepper one synchronous
+// round, injects the scenario's arrivals straight into the stepper's live
+// load state, and records the potential. Arrival-bearing scenarios run
+// their full horizon (there is no convergence round to stop at while load
+// keeps landing); arrival-free ones (pure topology churn) stop early once
+// Φ reaches the target, exactly like a static run.
+//
+// All randomness is split into two streams — cfg.Seed for the algorithm,
+// cfg.ScenarioSeed for the scenario — and every draw happens at a fixed
+// point of the sequential round loop, so identical seeds reproduce
+// identical trajectories regardless of worker counts or shard splits.
+func runScenario(cfg Config, res *Result) error {
+	scnSeed := cfg.ScenarioSeed
+	if scnSeed == 0 {
+		scnSeed = cfg.Seed
+	}
+	var ref float64
+	for _, v := range cfg.Loads {
+		ref += v
+	}
+	inst, err := cfg.Scenario.New(cfg.Graph, ref, rand.New(rand.NewSource(scnSeed)))
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = scenario.DefaultHorizon
+	}
+
+	algoRNG := rand.New(rand.NewSource(cfg.Seed))
+	g := cfg.Graph
+	// The base graph's spectra go through the shared cache (it recurs
+	// across every unit of its topology); churned per-round graphs use a
+	// cache that dies with the run, so one-shot subgraphs never pollute —
+	// or spill to disk from — the process-wide cache.
+	runSpectra := speccache.New()
+	sys, err := buildSystemOn(cfg, g, cfg.Loads, algoRNG, speccache.Shared())
+	if err != nil {
+		return err
+	}
+
+	phi := sys.Potential()
+	target := cfg.Epsilon * phi
+	res.PhiStart = phi
+	res.PeakPhi = phi
+	res.Trace = make([]float64, 1, maxRounds+1)
+	res.Trace[0] = phi
+
+	n := cfg.Graph.N()
+	lastEvent := 0   // round index of the most recent load injection
+	rebalanced := -1 // first round with Φ ≤ target since lastEvent
+	if phi <= target {
+		rebalanced = 0
+	}
+	for t := 1; t <= maxRounds; t++ {
+		k := t - 1 // scenarios number rounds from 0
+		if ng := inst.Graph(k); ng != g {
+			g = ng
+			spectra := runSpectra
+			if g == cfg.Graph {
+				spectra = speccache.Shared()
+			}
+			sys, err = buildSystemOn(cfg, g, currentLoads(sys, cfg.Mode), algoRNG, spectra)
+			if err != nil {
+				return err
+			}
+		}
+		sys.Step()
+		injected, err := inject(sys, cfg.Mode, inst.Arrivals(k, currentLoads(sys, cfg.Mode)))
+		if err != nil {
+			return err
+		}
+		phi = sys.Potential()
+		res.Trace = append(res.Trace, phi)
+		res.Rounds = t
+		if phi > res.PeakPhi {
+			res.PeakPhi = phi
+		}
+		switch {
+		case injected > 0:
+			lastEvent, rebalanced = t, -1
+		case rebalanced < 0 && phi <= target:
+			rebalanced = t
+		}
+		if inst.ArrivalFree() && phi <= target {
+			break
+		}
+	}
+
+	res.PhiEnd = phi
+	res.Converged = phi <= target
+	if rebalanced >= 0 {
+		res.RebalanceRounds = rebalanced - lastEvent
+	}
+	// Steady state: mean RMS discrepancy over the final quarter of the
+	// observed trajectory (at least one round).
+	q := len(res.Trace) / 4
+	if q < 1 {
+		q = 1
+	}
+	var sum float64
+	for _, p := range res.Trace[len(res.Trace)-q:] {
+		sum += math.Sqrt(p / float64(n))
+	}
+	res.SteadyRMS = sum / float64(q)
+	return nil
+}
+
+// currentLoads returns the stepper's live load state as a float vector:
+// the continuous vector itself (no copy — callers treat it as read-only),
+// or a float view of the token counts. Token counts of any realistic
+// magnitude are exact in float64, so the view round-trips losslessly into
+// the next stepper build.
+func currentLoads(sys sim.System, mode Mode) []float64 {
+	if mode == Discrete {
+		tok := mustDiscrete(sys).LoadTokens()
+		out := make([]float64, len(tok))
+		for i, x := range tok {
+			out[i] = float64(x)
+		}
+		return out
+	}
+	return mustContinuous(sys).LoadVector()
+}
+
+// inject lands the arrivals in the stepper's live load state, returning
+// the total injected (discrete amounts round to whole tokens).
+func inject(sys sim.System, mode Mode, arrivals []scenario.Arrival) (float64, error) {
+	if len(arrivals) == 0 {
+		return 0, nil
+	}
+	var total float64
+	if mode == Discrete {
+		tok := mustDiscrete(sys).LoadTokens()
+		for _, a := range arrivals {
+			amt := int64(math.Round(a.Amount))
+			if amt <= 0 || a.Node < 0 || a.Node >= len(tok) {
+				continue
+			}
+			tok[a.Node] += amt
+			total += float64(amt)
+		}
+		return total, nil
+	}
+	v := mustContinuous(sys).LoadVector()
+	for _, a := range arrivals {
+		if a.Amount <= 0 || a.Node < 0 || a.Node >= len(v) {
+			continue
+		}
+		v[a.Node] += a.Amount
+		total += a.Amount
+	}
+	return total, nil
+}
+
+// mustContinuous and mustDiscrete assert the stepper exposes the matching
+// state hook. Every algorithm core builds implements them; a panic here
+// means a new stepper was added without its sim.ContinuousState or
+// sim.DiscreteState method.
+func mustContinuous(sys sim.System) sim.ContinuousState {
+	cs, ok := sys.(sim.ContinuousState)
+	if !ok {
+		panic(fmt.Sprintf("core: stepper %T has no LoadVector hook", sys))
+	}
+	return cs
+}
+
+func mustDiscrete(sys sim.System) sim.DiscreteState {
+	ds, ok := sys.(sim.DiscreteState)
+	if !ok {
+		panic(fmt.Sprintf("core: stepper %T has no LoadTokens hook", sys))
+	}
+	return ds
+}
+
+// Compile-time checks: every stepper buildSystemOn can return must expose
+// its state hook, so forgetting the method on a new algorithm fails the
+// build, not a sweep.
+var (
+	_ sim.ContinuousState = (*diffusion.Continuous)(nil)
+	_ sim.ContinuousState = (*diffusion.FirstOrder)(nil)
+	_ sim.ContinuousState = (*diffusion.SecondOrder)(nil)
+	_ sim.ContinuousState = (*dimexchange.Continuous)(nil)
+	_ sim.ContinuousState = (*dimexchange.RoundRobin)(nil)
+	_ sim.ContinuousState = (*randpair.Continuous)(nil)
+	_ sim.DiscreteState   = (*diffusion.Discrete)(nil)
+	_ sim.DiscreteState   = (*dimexchange.Discrete)(nil)
+	_ sim.DiscreteState   = (*dimexchange.RoundRobinDiscrete)(nil)
+	_ sim.DiscreteState   = (*randpair.Discrete)(nil)
+)

@@ -141,6 +141,10 @@ func (c *Continuous) Step() {
 // Potential returns Φ of the current distribution.
 func (c *Continuous) Potential() float64 { return c.Load.Potential() }
 
+// LoadVector returns the live load vector (implements sim.ContinuousState,
+// the scenario engine's between-round injection hook).
+func (c *Continuous) LoadVector() []float64 { return c.Load.Vector() }
+
 // Discrete is the stateful discrete Algorithm 1 stepper.
 type Discrete struct {
 	G       *graph.G
@@ -191,6 +195,10 @@ func (d *Discrete) Step() {
 
 // Potential returns Φ of the current distribution.
 func (d *Discrete) Potential() float64 { return d.Load.Potential() }
+
+// LoadTokens returns the live token counts (implements sim.DiscreteState,
+// the scenario engine's between-round injection hook).
+func (d *Discrete) LoadTokens() []int64 { return d.Load.Tokens() }
 
 // DiscreteThreshold returns the paper's Theorem 6 residual threshold
 // 64·δ³·n/λ₂ below which the discrete analysis stops guaranteeing progress.

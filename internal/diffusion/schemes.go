@@ -57,6 +57,9 @@ func (f *FirstOrder) Step() {
 // Potential returns Φ of the current distribution.
 func (f *FirstOrder) Potential() float64 { return f.Load.Potential() }
 
+// LoadVector returns the live load vector (implements sim.ContinuousState).
+func (f *FirstOrder) LoadVector() []float64 { return f.Load.Vector() }
+
 // SecondOrder is the second-order scheme of [15]:
 //
 //	L¹ = M·L⁰,   Lᵗ = β·M·Lᵗ⁻¹ + (1−β)·Lᵗ⁻², t ≥ 2,
@@ -139,6 +142,11 @@ func (s *SecondOrder) Step() {
 // overshoot), which is exactly the behaviour the E12 comparison experiment
 // shows; only the envelope decays at the accelerated rate.
 func (s *SecondOrder) Potential() float64 { return s.Load.Potential() }
+
+// LoadVector returns the live load vector (implements sim.ContinuousState).
+// Injecting into it perturbs Lᵗ only; the scheme's Lᵗ⁻¹ memory is left to
+// absorb the shock over the next rounds.
+func (s *SecondOrder) LoadVector() []float64 { return s.Load.Vector() }
 
 // MatrixStepper advances L ← M·L for an arbitrary diffusion matrix; it is
 // the dense-reference implementation used in tests to validate the sparse

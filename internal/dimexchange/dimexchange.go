@@ -88,6 +88,9 @@ func (c *Continuous) Step() {
 // Potential returns Φ of the current distribution.
 func (c *Continuous) Potential() float64 { return c.Load.Potential() }
 
+// LoadVector returns the live load vector (implements sim.ContinuousState).
+func (c *Continuous) LoadVector() []float64 { return c.Load.Vector() }
+
 // Discrete is the discrete dimension-exchange stepper: matched pairs move
 // ⌊|ℓᵢ−ℓⱼ|/2⌋ tokens from the heavier to the lighter endpoint.
 type Discrete struct {
@@ -124,6 +127,9 @@ func (d *Discrete) Step() {
 
 // Potential returns Φ of the current distribution.
 func (d *Discrete) Potential() float64 { return d.Load.Potential() }
+
+// LoadTokens returns the live token counts (implements sim.DiscreteState).
+func (d *Discrete) LoadTokens() []int64 { return d.Load.Tokens() }
 
 // IsMatching reports whether the edge set m is a matching of g (edges of g,
 // pairwise disjoint endpoints). Exposed for tests and assertions.

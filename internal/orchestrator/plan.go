@@ -97,6 +97,7 @@ func (p *Plan) GridArgs() []string {
 		"-algos", strings.Join(s.Algorithms, ","),
 		"-modes", strings.Join(s.Modes, ","),
 		"-loads", strings.Join(s.Workloads, ","),
+		"-scenarios", strings.Join(s.Scenarios, ","),
 		"-n", strconv.Itoa(s.N),
 		"-seeds", joinSeeds(s.Seeds),
 		"-scale", strconv.FormatFloat(s.Scale, 'g', -1, 64),

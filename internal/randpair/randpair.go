@@ -120,6 +120,9 @@ func (c *Continuous) Step() {
 // Potential returns Φ of the current distribution.
 func (c *Continuous) Potential() float64 { return c.Load.Potential() }
 
+// LoadVector returns the live load vector (implements sim.ContinuousState).
+func (c *Continuous) LoadVector() []float64 { return c.Load.Vector() }
+
 // Discrete is the discrete Algorithm 2 stepper (floor transfers).
 type Discrete struct {
 	Load *load.Discrete
@@ -176,6 +179,9 @@ func (d *Discrete) Step() {
 
 // Potential returns Φ of the current distribution.
 func (d *Discrete) Potential() float64 { return d.Load.Potential() }
+
+// LoadTokens returns the live token counts (implements sim.DiscreteState).
+func (d *Discrete) LoadTokens() []int64 { return d.Load.Tokens() }
 
 // PartnerDegreeProbe estimates, by Monte-Carlo over rounds, the Lemma 9
 // conditional probability Pr[max(dᵢ,dⱼ) ≤ 5 | (i,j) ∈ E]: the fraction of

@@ -23,6 +23,22 @@ type System interface {
 	Potential() float64
 }
 
+// ContinuousState is implemented by continuous-mode steppers whose load
+// vector can be read — and mutated in place — between rounds. It is the
+// scenario engine's injection hook: a round loop reads the vector to aim
+// (e.g. at the most-loaded node) and adds arrivals directly to it, without
+// knowing the concrete algorithm type or rebuilding the stepper.
+type ContinuousState interface {
+	// LoadVector returns the live per-node load vector (not a copy).
+	LoadVector() []float64
+}
+
+// DiscreteState is ContinuousState for token-mode steppers.
+type DiscreteState interface {
+	// LoadTokens returns the live per-node token counts (not a copy).
+	LoadTokens() []int64
+}
+
 // StopFunc inspects the state after each round and returns true to halt.
 // round is 1-based (the number of completed rounds), phi the potential
 // after that round.

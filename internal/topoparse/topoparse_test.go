@@ -104,3 +104,22 @@ func TestErrorMentionsAcceptedNames(t *testing.T) {
 		t.Fatalf("error should list accepted names: %v", err)
 	}
 }
+
+// TestDescriptionsCoverEveryName: the -list surface must describe every
+// accepted topology, under exactly its canonical name — adding a family to
+// Names/Build without a Descriptions row fails here, not by silently
+// vanishing from lbbench -list.
+func TestDescriptionsCoverEveryName(t *testing.T) {
+	desc := map[string]bool{}
+	for _, d := range Descriptions() {
+		desc[d[0]] = true
+	}
+	for _, name := range Names() {
+		if !desc[name] {
+			t.Errorf("no description for topology %q", name)
+		}
+	}
+	if len(Descriptions()) != len(Names()) {
+		t.Errorf("%d descriptions for %d names", len(Descriptions()), len(Names()))
+	}
+}

@@ -34,6 +34,12 @@ const (
 	LinearRamp
 	// Flat sets every node to scale (already balanced; Φ = 0).
 	Flat
+
+	// kindCount counts the kinds above. A new Kind constant must be
+	// inserted before it (and given a String case), or the registry
+	// round-trip test — shared with internal/scenario's — fails: an
+	// unregistered generator should fail in tests, not at sweep time.
+	kindCount
 )
 
 // String implements fmt.Stringer.
@@ -58,9 +64,29 @@ func (k Kind) String() string {
 	}
 }
 
-// AllKinds lists every generator, in the order the harness sweeps them.
+// AllKinds lists every generator, in the order the harness sweeps them. It
+// is derived from the kindCount sentinel, so it cannot drift out of sync
+// with the const block.
 func AllKinds() []Kind {
-	return []Kind{Spike, Uniform, Bimodal, Exponential, PowerLaw, LinearRamp, Flat}
+	out := make([]Kind, kindCount)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Descriptions returns each kind's name and a one-line description, in
+// sweep order — the -list surface.
+func Descriptions() [][2]string {
+	return [][2]string{
+		{"spike", "entire load on node 0 (the canonical hard start)"},
+		{"uniform", "i.i.d. uniform loads in [0, scale)"},
+		{"bimodal", "half the nodes loaded, half empty"},
+		{"exponential", "i.i.d. Exp(1)·scale loads (heavy-ish tail)"},
+		{"powerlaw", "Pareto(α=1.5) loads, capped (skewed job sizes)"},
+		{"ramp", "linear ramp ℓᵢ = i·scale/n (the paper's path example)"},
+		{"flat", "every node at scale (already balanced, Φ = 0)"},
+	}
 }
 
 // ParseKind converts a CLI name (as produced by Kind.String) into a Kind.

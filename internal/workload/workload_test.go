@@ -143,3 +143,25 @@ func total(v []int64) int64 {
 	}
 	return s
 }
+
+// TestDescriptionsCoverEveryKind: the -list surface must describe every
+// registered kind, under exactly its parseable name — a new Kind constant
+// without a Descriptions row (or with a typo'd name) fails here, not by
+// silently vanishing from lbbench -list.
+func TestDescriptionsCoverEveryKind(t *testing.T) {
+	desc := map[string]bool{}
+	for _, d := range Descriptions() {
+		if _, err := ParseKind(d[0]); err != nil {
+			t.Errorf("description names %q, which does not parse: %v", d[0], err)
+		}
+		desc[d[0]] = true
+	}
+	for _, k := range AllKinds() {
+		if !desc[k.String()] {
+			t.Errorf("no description for workload %q", k)
+		}
+	}
+	if len(Descriptions()) != len(AllKinds()) {
+		t.Errorf("%d descriptions for %d kinds", len(Descriptions()), len(AllKinds()))
+	}
+}
