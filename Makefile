@@ -1,7 +1,8 @@
 # Local targets mirror .github/workflows/ci.yml: `make ci` runs the same
-# build, vet, gofmt, staticcheck, race-test, benchmark-smoke and
-# resume/shard/orchestrator smoke steps the workflow does, so a green
-# `make ci` means a green PR. (staticcheck is skipped with a warning when
+# build, vet, gofmt, staticcheck, race-test, benchmark-smoke, round-workers
+# and resume/shard/orchestrator smoke steps the workflow does, so a green
+# `make ci` means a green PR (plus `make bench-gate` for the perf
+# trajectory, which CI's bench-trajectory job enforces). (staticcheck is skipped with a warning when
 # the binary is not installed; CI installs it pinned. The CI-only
 # matrix-plan/matrix-shard/matrix-shard-merge jobs prove the -emit-matrix
 # github plan is executable as a real Actions matrix; their local
@@ -9,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check staticcheck bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke ci
 
 build:
 	$(GO) build ./...
@@ -37,7 +38,31 @@ staticcheck:
 	fi
 
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | tee /tmp/lbbench-bench-smoke.txt
+
+# Measure the full pinned trajectory grid (the same one CI gates on) into
+# /tmp. This is the slow, honest measurement — run it on a quiet machine.
+perfbench:
+	$(GO) run ./cmd/perfbench -label local -out /tmp/bench-current.json
+
+# Measure and gate against the committed baseline, exactly like CI's
+# bench-trajectory job: >25% calibration-normalized regression (or shrunk
+# coverage) fails.
+bench-gate: perfbench
+	$(GO) run ./cmd/perfbench -diff -max-regress 0.25 BENCH_PR6.json /tmp/bench-current.json
+
+# Round-level parallelism smoke: the stepper/scenario packages under -race
+# with 8 round workers, plus rw1-vs-rw8-vs-auto byte-identity of a real
+# grid sweep (mirroring grid-smoke's unit-level w1-vs-w8 check).
+round-smoke:
+	LB_TEST_ROUND_WORKERS=8 $(GO) test -race -count=1 \
+		./internal/core/ ./internal/diffusion/ ./internal/dimexchange/ \
+		./internal/randpair/ ./internal/scenario/ ./internal/batch/
+	$(GO) run ./cmd/lbbench -grid -n 64 -seeds 1,2 -parallel 2 -round-workers 1 -format csv > /tmp/lbbench-rw1.csv
+	$(GO) run ./cmd/lbbench -grid -n 64 -seeds 1,2 -parallel 2 -round-workers 8 -format csv > /tmp/lbbench-rw8.csv
+	$(GO) run ./cmd/lbbench -grid -n 64 -seeds 1,2 -parallel 2 -round-workers auto -format csv > /tmp/lbbench-rwauto.csv
+	cmp /tmp/lbbench-rw1.csv /tmp/lbbench-rw8.csv
+	cmp /tmp/lbbench-rw1.csv /tmp/lbbench-rwauto.csv
 
 grid-smoke:
 	$(GO) run ./cmd/lbbench -grid -n 32 -seeds 1,2 -parallel 1 -format csv > /tmp/lbbench-w1.csv
@@ -133,4 +158,8 @@ scenario-smoke:
 	/tmp/lbbench $(SCENARIO_ARGS) -parallel 4 -merge /tmp/lbbench-ssweep/shard-0.jsonl,/tmp/lbbench-ssweep/shard-1.jsonl,/tmp/lbbench-ssweep/shard-2.jsonl -stream-agg > /tmp/lbbench-scen-mergedagg.csv
 	cmp /tmp/lbbench-scen-fullagg.csv /tmp/lbbench-scen-mergedagg.csv
 
-ci: build vet fmt-check staticcheck test bench grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke
+# bench-gate is not part of `make ci`: the trajectory measurement needs a
+# quiet machine to be meaningful (CI's bench-trajectory job runs it on the
+# dedicated runner). Run `make bench-gate` before committing perf-sensitive
+# changes.
+ci: build vet fmt-check staticcheck test bench round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke

@@ -22,7 +22,11 @@
 // The grid expands to topologies × algorithms × modes × workloads ×
 // scenarios × seeds run units, executes them across -parallel workers with
 // per-unit deterministic RNG streams, and emits one aggregated report
-// (table, csv or json). Output is identical for any -parallel value.
+// (table, csv or json). -round-workers {n|auto} additionally fans each
+// unit's rounds over n goroutines inside the stepper (node-level
+// parallelism — the lever for few huge cells, where unit fan-out cannot
+// help); auto splits GOMAXPROCS between the two levels from the grid
+// shape. Output is identical for any -parallel or -round-workers value.
 //
 // Scenario sweeps (time-varying arrivals, adversarial spikes, topology
 // churn as a grid dimension):
@@ -144,6 +148,8 @@ func main() {
 		list     = flag.Bool("list", false, "list registered experiments, topologies, algorithms, modes, workloads and scenarios, then exit")
 		parallel = flag.Int("parallel", 0, "worker-pool width for sweeps (0 = GOMAXPROCS)")
 
+		roundWorkers = flag.String("round-workers", "1", "round-level workers inside every stepper's node loops: a number, or 'auto' to split GOMAXPROCS between unit- and round-level fan-out from the grid shape (results are byte-identical for any value)")
+
 		grid      = flag.Bool("grid", false, "run a declarative sweep grid instead of the experiment tables")
 		topos     = flag.String("topos", "cycle,torus,hypercube", "grid: comma-separated topology names")
 		algos     = flag.String("algos", "diffusion,dimexchange,randpair", "grid: comma-separated algorithm names")
@@ -190,11 +196,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		os.Exit(code)
 	}
+	rw, err := parseRoundWorkers(*roundWorkers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		os.Exit(exitUsage)
+	}
 	gf := gridFlags{
 		topos: *topos, algos: *algos, modes: *modes, loads: *loads,
 		scenarios: *scenarios,
 		seeds:     *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
-		workers: *parallel, format: *format, out: *out, resume: *resume,
+		workers: *parallel, roundWorkers: rw,
+		format: *format, out: *out, resume: *resume,
 		shardI: shardI, shardM: shardM, merge: *merge,
 		streamAgg: *streamAgg, gridSet: *grid,
 	}
@@ -205,7 +217,11 @@ func main() {
 	case *grid || *merge != "":
 		code = runGrid(gf)
 	default:
-		code = runExperiments(*exp, *seed, *quick, *csv, *parallel, shardI, shardM)
+		if rw < 0 {
+			fmt.Fprintln(os.Stderr, "lbbench: -round-workers auto needs a grid shape to tune from — pass a number in experiment mode")
+			os.Exit(exitUsage)
+		}
+		code = runExperiments(*exp, *seed, *quick, *csv, *parallel, rw, shardI, shardM)
 	}
 	if *cacheStats {
 		fmt.Fprintf(os.Stderr, "lbbench: speccache: %s\n", speccache.Shared().Stats())
@@ -251,17 +267,18 @@ func runSpawn(f gridFlags, m int, emitMatrix string, retries int) int {
 		return exitUsage
 	}
 	spec := batch.Spec{
-		Topologies: splitList(f.topos),
-		Algorithms: splitList(f.algos),
-		Modes:      splitList(f.modes),
-		Workloads:  splitList(f.loads),
-		Scenarios:  splitList(f.scenarios),
-		Seeds:      seedList,
-		N:          f.n,
-		Scale:      f.scale,
-		Epsilon:    f.eps,
-		MaxRounds:  f.rounds,
-		Workers:    f.workers,
+		Topologies:   splitList(f.topos),
+		Algorithms:   splitList(f.algos),
+		Modes:        splitList(f.modes),
+		Workloads:    splitList(f.loads),
+		Scenarios:    splitList(f.scenarios),
+		Seeds:        seedList,
+		N:            f.n,
+		Scale:        f.scale,
+		Epsilon:      f.eps,
+		MaxRounds:    f.rounds,
+		Workers:      f.workers,
+		RoundWorkers: f.roundWorkers,
 	}
 	switch f.format {
 	case "table", "csv", "json":
@@ -315,7 +332,7 @@ func runSpawn(f gridFlags, m int, emitMatrix string, retries int) int {
 }
 
 // runExperiments is the classic per-experiment table mode.
-func runExperiments(exp string, seed int64, quick, csv bool, workers, shardI, shardM int) int {
+func runExperiments(exp string, seed int64, quick, csv bool, workers, roundWorkers, shardI, shardM int) int {
 	var ids []string
 	if exp == "all" {
 		ids = experiments.IDs()
@@ -338,7 +355,7 @@ func runExperiments(exp string, seed int64, quick, csv bool, workers, shardI, sh
 	}
 
 	opts := experiments.Options{
-		Seed: seed, Quick: quick, Workers: workers,
+		Seed: seed, Quick: quick, Workers: workers, RoundWorkers: roundWorkers,
 		ShardIndex: shardI, ShardCount: shardM,
 	}
 	for _, id := range ids {
@@ -398,9 +415,12 @@ type gridFlags struct {
 	n                                 int
 	scale, eps                        float64
 	rounds, workers                   int
-	format, out, resume, merge        string
-	shardI, shardM                    int
-	streamAgg                         bool
+	// roundWorkers is the parsed -round-workers value: ≥ 0 explicit
+	// (0 and 1 both mean serial rounds), < 0 the auto-tuned split.
+	roundWorkers               int
+	format, out, resume, merge string
+	shardI, shardM             int
+	streamAgg                  bool
 	// gridSet records whether -grid was given explicitly (a bare -merge
 	// renders from the journals' own headers, without trusting the grid
 	// flags' defaults).
@@ -419,17 +439,18 @@ func runGrid(f gridFlags) int {
 		return 2
 	}
 	spec := batch.Spec{
-		Topologies: splitList(f.topos),
-		Algorithms: splitList(f.algos),
-		Modes:      splitList(f.modes),
-		Workloads:  splitList(f.loads),
-		Scenarios:  splitList(f.scenarios),
-		Seeds:      seedList,
-		N:          f.n,
-		Scale:      f.scale,
-		Epsilon:    f.eps,
-		MaxRounds:  f.rounds,
-		Workers:    f.workers,
+		Topologies:   splitList(f.topos),
+		Algorithms:   splitList(f.algos),
+		Modes:        splitList(f.modes),
+		Workloads:    splitList(f.loads),
+		Scenarios:    splitList(f.scenarios),
+		Seeds:        seedList,
+		N:            f.n,
+		Scale:        f.scale,
+		Epsilon:      f.eps,
+		MaxRounds:    f.rounds,
+		Workers:      f.workers,
+		RoundWorkers: f.roundWorkers,
 	}
 	if f.shardM > 0 {
 		spec, err = spec.Shard(f.shardI, f.shardM)
@@ -485,6 +506,7 @@ func runGrid(f gridFlags) int {
 			hdr := j.Specs[0]
 			hdr.ShardIndex, hdr.ShardCount = 0, 0
 			hdr.Workers = f.workers
+			hdr.RoundWorkers = f.roundWorkers
 			if f.shardM > 0 {
 				if hdr, err = hdr.Shard(f.shardI, f.shardM); err != nil {
 					fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
@@ -767,6 +789,19 @@ func containsPath(list []string, s string) bool {
 		}
 	}
 	return false
+}
+
+// parseRoundWorkers parses the -round-workers value: a non-negative worker
+// count, or "auto" (encoded as −1) for the batch auto-tuner's split.
+func parseRoundWorkers(s string) (int, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "auto") {
+		return -1, nil
+	}
+	w, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || w < 0 {
+		return 0, fmt.Errorf("bad -round-workers %q (want a non-negative count, or 'auto')", s)
+	}
+	return w, nil
 }
 
 // splitList splits a comma-separated flag value, dropping empty entries.

@@ -62,6 +62,7 @@ func run() int {
 		eps       = flag.Float64("eps", 1e-3, "convergence target Φ ≤ ε·Φ⁰")
 		rounds    = flag.Int("rounds", 0, "round cap per unit (0 = theorem-derived default)")
 		parallel  = flag.Int("parallel", 0, "worker-pool width inside each shard subprocess (0 = GOMAXPROCS)")
+		roundWkrs = flag.String("round-workers", "1", "round-level workers inside every stepper, per shard subprocess: a count, or 'auto' to split GOMAXPROCS from the grid shape")
 
 		format    = flag.String("format", "table", "final report format (table, csv, json)")
 		streamAgg = flag.Bool("stream-agg", false, "render streaming-only aggregates+marginals instead of the per-cell report")
@@ -88,18 +89,28 @@ func run() int {
 		}
 		seedList = append(seedList, x)
 	}
+	rw := 0
+	if strings.EqualFold(strings.TrimSpace(*roundWkrs), "auto") {
+		rw = -1
+	} else if v, err := strconv.Atoi(strings.TrimSpace(*roundWkrs)); err == nil && v >= 0 {
+		rw = v
+	} else {
+		fmt.Fprintf(os.Stderr, "lborch: bad -round-workers %q (want a non-negative count, or 'auto')\n", *roundWkrs)
+		return 2
+	}
 	spec := batch.Spec{
-		Topologies: splitList(*topos),
-		Algorithms: splitList(*algos),
-		Modes:      splitList(*modes),
-		Workloads:  splitList(*loads),
-		Scenarios:  splitList(*scenarios),
-		Seeds:      seedList,
-		N:          *n,
-		Scale:      *scale,
-		Epsilon:    *eps,
-		MaxRounds:  *rounds,
-		Workers:    *parallel,
+		Topologies:   splitList(*topos),
+		Algorithms:   splitList(*algos),
+		Modes:        splitList(*modes),
+		Workloads:    splitList(*loads),
+		Scenarios:    splitList(*scenarios),
+		Seeds:        seedList,
+		N:            *n,
+		Scale:        *scale,
+		Epsilon:      *eps,
+		MaxRounds:    *rounds,
+		Workers:      *parallel,
+		RoundWorkers: rw,
 	}
 	plan, err := orchestrator.NewPlan(spec, *m, *out)
 	if err != nil {

@@ -1,0 +1,154 @@
+// Command perfbench measures and gates the repo's performance trajectory.
+//
+// Measure mode runs the pinned benchmark grid — ns/round vs n for every
+// topology×algorithm×mode at each round-worker count, plus cells/sec for
+// the two reference sweeps — and writes the JSON report:
+//
+//	perfbench -label PR6 -out BENCH_PR6.json
+//
+// Diff mode compares a fresh report against a committed baseline,
+// normalizing by the two reports' calibration anchors so a slower or
+// faster machine does not masquerade as a code change:
+//
+//	perfbench -diff -max-regress 0.25 BENCH_PR6.json current.json
+//
+// Every baseline key must be present in the current report (shrinking
+// coverage fails like a slowdown), and any measurement whose normalized
+// cost exceeds the baseline by more than -max-regress fails the gate.
+//
+// Exit codes: 0 success; 1 regression, missing coverage, or a byte-identity
+// violation between round-worker counts; 2 usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/perfbench"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		diff       = flag.Bool("diff", false, "compare two reports (BASELINE CURRENT) instead of measuring")
+		maxRegress = flag.Float64("max-regress", 0.25, "with -diff: allowed normalized slowdown before failing (0.25 = 25%)")
+
+		out       = flag.String("out", "", "write the JSON report here (default stdout)")
+		label     = flag.String("label", "", "baseline label recorded in the report (e.g. PR6)")
+		topos     = flag.String("topos", "", "comma-separated topologies (default: the pinned trajectory grid)")
+		algos     = flag.String("algos", "", "comma-separated algorithms (default: the pinned trajectory grid)")
+		modes     = flag.String("modes", "", "comma-separated modes (default: the pinned trajectory grid)")
+		sizes     = flag.String("sizes", "", "comma-separated node counts (default: the pinned trajectory grid)")
+		roundWkrs = flag.String("round-workers", "", "comma-separated round-level worker counts to measure (default: the pinned trajectory grid)")
+		samples   = flag.Int("samples", 0, "samples per measurement, fastest wins (default 3)")
+		budget    = flag.Int("budget", 0, "node-operation budget per sample; rounds timed = budget/n in [64,4096] (default 2^22)")
+		noSweeps  = flag.Bool("no-sweeps", false, "skip the two cells/sec reference sweeps (quicker local runs; the CI gate keeps them)")
+		quiet     = flag.Bool("q", false, "suppress per-measurement progress on stderr")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "perfbench: -diff needs exactly two reports: BASELINE CURRENT")
+			return 2
+		}
+		base, err := perfbench.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			return 2
+		}
+		cur, err := perfbench.ReadFile(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			return 2
+		}
+		res, err := perfbench.Compare(base, cur, *maxRegress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			return 2
+		}
+		res.Render(os.Stdout, *maxRegress)
+		if !res.OK() {
+			return 1
+		}
+		return 0
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "perfbench: unexpected arguments %v (did you mean -diff?)\n", flag.Args())
+		return 2
+	}
+
+	cfg := perfbench.Config{
+		Topologies:   splitList(*topos),
+		Algorithms:   splitList(*algos),
+		Modes:        splitList(*modes),
+		Samples:      *samples,
+		RoundsBudget: *budget,
+		SkipSweeps:   *noSweeps,
+	}
+	if !*quiet {
+		cfg.Log = os.Stderr
+	}
+	var err error
+	if cfg.Sizes, err = splitInts(*sizes); err != nil {
+		fmt.Fprintf(os.Stderr, "perfbench: bad -sizes: %v\n", err)
+		return 2
+	}
+	if cfg.RoundWorkersList, err = splitInts(*roundWkrs); err != nil {
+		fmt.Fprintf(os.Stderr, "perfbench: bad -round-workers: %v\n", err)
+		return 2
+	}
+
+	rep, err := perfbench.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+		if strings.Contains(err.Error(), "byte-identity") {
+			return 1
+		}
+		return 2
+	}
+	rep.Label = *label
+
+	if *out == "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return 0
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: wrote %s (%d round measurements, %d sweeps)\n", *out, len(rep.Rounds), len(rep.Sweeps))
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, v := range splitList(s) {
+		x, err := strconv.Atoi(v)
+		if err != nil || x <= 0 {
+			return nil, fmt.Errorf("%q is not a positive integer", v)
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}

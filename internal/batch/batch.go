@@ -82,9 +82,17 @@ type Spec struct {
 	// headers so a merger can tell which slice each journal covers.
 	ShardIndex int `json:"shard_index,omitempty"`
 	ShardCount int `json:"shard_count,omitempty"`
-	// Workers sets the pool width (≤ 0 selects GOMAXPROCS). It affects
-	// scheduling only: results are identical for any value.
+	// Workers sets the unit-level pool width (≤ 0 selects GOMAXPROCS). It
+	// affects scheduling only: results are identical for any value.
 	Workers int `json:"-"`
+	// RoundWorkers is the round-level worker count inside every unit's
+	// stepper: 0 (the default) runs rounds serially, > 0 pins that many
+	// workers per unit, < 0 asks the auto-tuner to split GOMAXPROCS
+	// between unit-level and round-level fan-out from the grid shape (see
+	// WorkerSplit). Like Workers it affects scheduling only — results are
+	// byte-identical for any value — so it is excluded from journal
+	// headers and grid-identity checks.
+	RoundWorkers int `json:"-"`
 }
 
 // Shard returns a copy of s restricted to shard i of m. The assignment

@@ -176,11 +176,15 @@ func runSink(ctx context.Context, spec Spec, run RunFunc, sink Sink, replay map[
 	if collect {
 		cells = make([]Cell, len(units))
 	}
+	// The unit pool width comes from the resolved hybrid split, so a
+	// round-parallel sweep (RoundWorkers auto, few huge cells) narrows the
+	// pool instead of stacking both levels of fan-out.
+	unitWorkers, _ := spec.WorkerSplit()
 	var seq *sequencer
 	if sink != nil {
-		seq = newSequencer(sink, cancel, sinkLookahead(spec.Workers))
+		seq = newSequencer(sink, cancel, sinkLookahead(unitWorkers))
 	}
-	parallel.ForDynamic(len(units), spec.Workers, func(i int) {
+	parallel.ForDynamic(len(units), unitWorkers, func(i int) {
 		if seq != nil {
 			seq.acquire(i)
 		}

@@ -148,8 +148,12 @@ type Config struct {
 	MaxRounds int
 	// Seed drives the randomized algorithms (default 1).
 	Seed int64
-	// Workers enables the goroutine-parallel executor for Diffusion
-	// (default 1; results are identical for any value).
+	// Workers is the round-level worker count: every stepper fans its
+	// node/pair loops over this many goroutines (default 1 = serial;
+	// results are byte-identical for any value). It is a per-run knob,
+	// distinct from the batch engine's unit-level pool width — see
+	// batch.Spec.RoundWorkers for how grid sweeps split GOMAXPROCS
+	// between the two levels.
 	Workers int
 	// Scenario drives time-varying arrivals and topology churn between
 	// rounds (the §5 dynamic model as a declarative run dimension). The
@@ -338,30 +342,68 @@ func buildSystemOn(cfg Config, g *graph.G, loads []float64, rng *rand.Rand, spec
 		return st, nil
 	case DimensionExchange:
 		if cfg.Mode == Discrete {
-			return dimexchange.NewDiscrete(g, toTokens(loads), rng), nil
+			st := dimexchange.NewDiscrete(g, toTokens(loads), rng)
+			st.Workers = cfg.Workers
+			return st, nil
 		}
-		return dimexchange.NewContinuous(g, loads, rng), nil
+		st := dimexchange.NewContinuous(g, loads, rng)
+		st.Workers = cfg.Workers
+		return st, nil
 	case RandomPartners:
 		if cfg.Mode == Discrete {
-			return randpair.NewDiscrete(toTokens(loads), rng), nil
+			st := randpair.NewDiscrete(toTokens(loads), rng)
+			st.Workers = cfg.Workers
+			return st, nil
 		}
-		return randpair.NewContinuous(loads, rng), nil
+		st := randpair.NewContinuous(loads, rng)
+		st.Workers = cfg.Workers
+		return st, nil
 	case FirstOrder:
-		return diffusion.NewFirstOrder(g, loads), nil
+		st := diffusion.NewFirstOrder(g, loads)
+		st.Workers = cfg.Workers
+		return st, nil
 	case SecondOrder:
 		gamma, err := spectra.Gamma(g)
 		if err != nil {
 			return nil, fmt.Errorf("core: γ for second-order β: %w", err)
 		}
-		return diffusion.NewSecondOrder(g, loads, diffusion.OptimalBeta(gamma)), nil
+		st := diffusion.NewSecondOrder(g, loads, diffusion.OptimalBeta(gamma))
+		st.Workers = cfg.Workers
+		return st, nil
 	case RoundRobinExchange:
 		if cfg.Mode == Discrete {
-			return dimexchange.NewRoundRobinDiscrete(g, toTokens(loads)), nil
+			st := dimexchange.NewRoundRobinDiscrete(g, toTokens(loads))
+			st.Workers = cfg.Workers
+			return st, nil
 		}
-		return dimexchange.NewRoundRobin(g, loads), nil
+		st := dimexchange.NewRoundRobin(g, loads)
+		st.Workers = cfg.Workers
+		return st, nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", cfg.Algorithm)
 	}
+}
+
+// NewSystem validates cfg's structural fields and constructs the configured
+// stepper without running it — the entry point for harnesses (notably
+// internal/perfbench) that drive rounds themselves. The stepper starts from
+// a copy of cfg.Loads; Epsilon, MaxRounds and Scenario are ignored, and no
+// spectral bound is computed (SecondOrder still pays for its β through the
+// shared γ cache).
+func NewSystem(cfg Config) (sim.System, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("core: Config.Graph is required")
+	}
+	if len(cfg.Loads) != cfg.Graph.N() {
+		return nil, fmt.Errorf("core: %d loads for %d nodes", len(cfg.Loads), cfg.Graph.N())
+	}
+	if (cfg.Algorithm == FirstOrder || cfg.Algorithm == SecondOrder) && cfg.Mode == Discrete {
+		return nil, fmt.Errorf("core: %v supports continuous mode only", cfg.Algorithm)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return buildSystem(cfg)
 }
 
 // SpikeLoads places the whole load on node 0 — the canonical hard start.

@@ -114,8 +114,12 @@ func validateGridSpec(spec batch.Spec) error {
 	return nil
 }
 
-// balanceRunFunc adapts Balance to the engine's RunFunc.
+// balanceRunFunc adapts Balance to the engine's RunFunc. The round-level
+// worker width is resolved from the spec's hybrid split once, up front —
+// every unit's stepper fans its node loops that wide (results are
+// byte-identical for any width, so this is purely a scheduling choice).
 func balanceRunFunc(spec batch.Spec) batch.RunFunc {
+	_, roundWorkers := spec.WorkerSplit()
 	return func(u batch.Unit, g *graph.G, loads []float64, algoSeed int64) (batch.Outcome, error) {
 		alg, err := ParseAlgorithm(u.Algorithm)
 		if err != nil {
@@ -133,6 +137,7 @@ func balanceRunFunc(spec batch.Spec) batch.RunFunc {
 			Epsilon:      spec.Epsilon,
 			MaxRounds:    spec.MaxRounds,
 			Seed:         nonZeroSeed(algoSeed),
+			Workers:      roundWorkers,
 			Scenario:     u.ScenarioSpec,
 			ScenarioSeed: nonZeroSeed(u.ScenarioSeed()),
 		})

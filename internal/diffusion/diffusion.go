@@ -99,7 +99,7 @@ func NewContinuous(g *graph.G, initial []float64) *Continuous {
 	if len(initial) != g.N() {
 		panic("diffusion: initial load length mismatch")
 	}
-	return &Continuous{G: g, Load: load.NewContinuous(initial), Workers: 1}
+	return &Continuous{G: g, Load: load.NewContinuous(initial)}
 }
 
 // Step advances one synchronous round of Algorithm 1.
@@ -134,7 +134,7 @@ func (c *Continuous) Step() {
 		}
 		c.next[i] = acc
 	}
-	parallel.For(n, c.Workers, body)
+	parallel.For(n, parallel.StepperWorkers(c.Workers), body)
 	copy(cur, c.next)
 }
 
@@ -159,7 +159,7 @@ func NewDiscrete(g *graph.G, initial []int64) *Discrete {
 	if len(initial) != g.N() {
 		panic("diffusion: initial token length mismatch")
 	}
-	return &Discrete{G: g, Load: load.NewDiscrete(initial), Workers: 1}
+	return &Discrete{G: g, Load: load.NewDiscrete(initial)}
 }
 
 // Step advances one synchronous round of the discrete Algorithm 1, moving
@@ -189,7 +189,7 @@ func (d *Discrete) Step() {
 		}
 		d.next[i] = acc
 	}
-	parallel.For(n, d.Workers, body)
+	parallel.For(n, parallel.StepperWorkers(d.Workers), body)
 	copy(cur, d.next)
 }
 

@@ -33,10 +33,9 @@ func NewDiscreteFirstOrder(g *graph.G, initial []int64) *DiscreteFirstOrder {
 		panic("diffusion: initial token length mismatch")
 	}
 	return &DiscreteFirstOrder{
-		G:       g,
-		Load:    load.NewDiscrete(initial),
-		Alpha:   1 / float64(g.MaxDegree()+1),
-		Workers: 1,
+		G:     g,
+		Load:  load.NewDiscrete(initial),
+		Alpha: 1 / float64(g.MaxDegree()+1),
 	}
 }
 
@@ -49,7 +48,7 @@ func (d *DiscreteFirstOrder) Step() {
 		d.next = make([]int64, n)
 	}
 	alpha := d.Alpha
-	parallel.For(n, d.Workers, func(i int) {
+	parallel.For(n, parallel.StepperWorkers(d.Workers), func(i int) {
 		li := cur[i]
 		acc := li
 		for _, j := range g.Neighbors(i) {

@@ -28,10 +28,9 @@ func NewFirstOrder(g *graph.G, initial []float64) *FirstOrder {
 		panic("diffusion: initial load length mismatch")
 	}
 	return &FirstOrder{
-		G:       g,
-		Load:    load.NewContinuous(initial),
-		Alpha:   1 / float64(g.MaxDegree()+1),
-		Workers: 1,
+		G:     g,
+		Load:  load.NewContinuous(initial),
+		Alpha: 1 / float64(g.MaxDegree()+1),
 	}
 }
 
@@ -43,7 +42,7 @@ func (f *FirstOrder) Step() {
 		f.next = make(matrix.Vector, n)
 	}
 	alpha := f.Alpha
-	parallel.For(n, f.Workers, func(i int) {
+	parallel.For(n, parallel.StepperWorkers(f.Workers), func(i int) {
 		li := cur[i]
 		acc := li
 		for _, j := range g.Neighbors(i) {
@@ -85,11 +84,10 @@ func NewSecondOrder(g *graph.G, initial []float64, beta float64) *SecondOrder {
 		panic("diffusion: initial load length mismatch")
 	}
 	return &SecondOrder{
-		G:       g,
-		Load:    load.NewContinuous(initial),
-		Beta:    beta,
-		Alpha:   1 / float64(g.MaxDegree()+1),
-		Workers: 1,
+		G:     g,
+		Load:  load.NewContinuous(initial),
+		Beta:  beta,
+		Alpha: 1 / float64(g.MaxDegree()+1),
 	}
 }
 
@@ -111,9 +109,10 @@ func (s *SecondOrder) Step() {
 		s.next = make(matrix.Vector, n)
 	}
 	alpha, beta := s.Alpha, s.Beta
+	workers := parallel.StepperWorkers(s.Workers)
 	if s.round == 0 {
 		s.prev = cur.Clone()
-		parallel.For(n, s.Workers, func(i int) {
+		parallel.For(n, workers, func(i int) {
 			li := cur[i]
 			acc := li
 			for _, j := range g.Neighbors(i) {
@@ -122,7 +121,7 @@ func (s *SecondOrder) Step() {
 			s.next[i] = acc
 		})
 	} else {
-		parallel.For(n, s.Workers, func(i int) {
+		parallel.For(n, workers, func(i int) {
 			li := cur[i]
 			ml := li
 			for _, j := range g.Neighbors(i) {

@@ -20,7 +20,27 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/load"
+	"repro/internal/parallel"
 )
+
+// matchingPartners fills partner with each node's mate in matching m (−1 for
+// unmatched nodes), growing the scratch slice as needed. A matching touches
+// every node at most once, so a node-parallel apply over the partner array
+// performs exactly the serial loop's one averaging operation per matched
+// node — bit-identical for any worker count.
+func matchingPartners(partner []int, n int, m []graph.Edge) []int {
+	if cap(partner) < n {
+		partner = make([]int, n)
+	}
+	partner = partner[:n]
+	for i := range partner {
+		partner[i] = -1
+	}
+	for _, e := range m {
+		partner[e.U], partner[e.V] = e.V, e.U
+	}
+	return partner
+}
 
 // RandomMatching draws a random matching of g. The procedure follows [12]:
 // each free node picks one incident edge uniformly at random (a proposal);
@@ -59,10 +79,17 @@ type Continuous struct {
 	G    *graph.G
 	Load *load.Continuous
 	RNG  *rand.Rand
+	// Workers > 1 fans the pair-averaging loop over goroutines; results
+	// are bit-identical for any value (the matching touches each node at
+	// most once).
+	Workers int
 
 	// LastMatching is the matching used by the most recent Step; exposed
 	// for the tests that validate the matching distribution.
 	LastMatching []graph.Edge
+
+	partner []int
+	next    []float64
 }
 
 // NewContinuous creates a stepper over a copy of the initial loads.
@@ -79,10 +106,27 @@ func (c *Continuous) Step() {
 	m := RandomMatching(c.G, c.RNG)
 	c.LastMatching = m
 	v := c.Load.Vector()
-	for _, e := range m {
-		avg := (v[e.U] + v[e.V]) / 2
-		v[e.U], v[e.V] = avg, avg
+	w := parallel.StepperWorkers(c.Workers)
+	if w == 1 {
+		for _, e := range m {
+			avg := (v[e.U] + v[e.V]) / 2
+			v[e.U], v[e.V] = avg, avg
+		}
+		return
 	}
+	n := c.G.N()
+	c.partner = matchingPartners(c.partner, n, m)
+	if len(c.next) < n {
+		c.next = make([]float64, n)
+	}
+	parallel.For(n, w, func(i int) {
+		if j := c.partner[i]; j >= 0 {
+			c.next[i] = (v[i] + v[j]) / 2
+		} else {
+			c.next[i] = v[i]
+		}
+	})
+	copy(v, c.next[:n])
 }
 
 // Potential returns Φ of the current distribution.
@@ -97,8 +141,14 @@ type Discrete struct {
 	G    *graph.G
 	Load *load.Discrete
 	RNG  *rand.Rand
+	// Workers > 1 fans the pair-balancing loop over goroutines; results
+	// are identical for any value.
+	Workers int
 
 	LastMatching []graph.Edge
+
+	partner []int
+	next    []int64
 }
 
 // NewDiscrete creates a stepper over a copy of the initial token counts.
@@ -114,15 +164,36 @@ func (d *Discrete) Step() {
 	m := RandomMatching(d.G, d.RNG)
 	d.LastMatching = m
 	v := d.Load.Tokens()
-	for _, e := range m {
-		hi, lo := e.U, e.V
-		if v[hi] < v[lo] {
-			hi, lo = lo, hi
+	w := parallel.StepperWorkers(d.Workers)
+	if w == 1 {
+		for _, e := range m {
+			hi, lo := e.U, e.V
+			if v[hi] < v[lo] {
+				hi, lo = lo, hi
+			}
+			t := (v[hi] - v[lo]) / 2
+			v[hi] -= t
+			v[lo] += t
 		}
-		t := (v[hi] - v[lo]) / 2
-		v[hi] -= t
-		v[lo] += t
+		return
 	}
+	n := d.G.N()
+	d.partner = matchingPartners(d.partner, n, m)
+	if len(d.next) < n {
+		d.next = make([]int64, n)
+	}
+	parallel.For(n, w, func(i int) {
+		li := v[i]
+		if j := d.partner[i]; j >= 0 {
+			if lj := v[j]; li > lj {
+				li -= (li - lj) / 2
+			} else if lj > li {
+				li += (lj - li) / 2
+			}
+		}
+		d.next[i] = li
+	})
+	copy(v, d.next[:n])
 }
 
 // Potential returns Φ of the current distribution.

@@ -1,0 +1,103 @@
+package dimexchange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// The parallel Step paths must reproduce the serial ones bit for bit: a
+// matching touches every node at most once, so fanning the partner-array
+// averaging over goroutines performs exactly the same IEEE operations per
+// node as the serial in-place loop — any discrepancy is a bug, not noise.
+
+func spikeFloats(n int) []float64 {
+	return workload.Continuous(workload.Spike, n, 1e6*float64(n), nil)
+}
+
+func spikeTokens(n int) []int64 {
+	return workload.Discrete(workload.Spike, n, int64(n)*1_000_000, nil)
+}
+
+func TestContinuousParallelMatchesSerial(t *testing.T) {
+	for _, g := range []*graph.G{graph.Cycle(17), graph.Torus(5, 6), graph.Hypercube(5)} {
+		for _, w := range []int{2, 3, 7, 16} {
+			serial := NewContinuous(g, spikeFloats(g.N()), rand.New(rand.NewSource(5)))
+			par := NewContinuous(g, spikeFloats(g.N()), rand.New(rand.NewSource(5)))
+			par.Workers = w
+			for r := 0; r < 40; r++ {
+				serial.Step()
+				par.Step()
+				for i := range serial.Load.Vector() {
+					if math.Float64bits(serial.Load.Vector()[i]) != math.Float64bits(par.Load.Vector()[i]) {
+						t.Fatalf("%s workers=%d round %d node %d: %v != %v",
+							g.Name(), w, r, i, par.Load.Vector()[i], serial.Load.Vector()[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDiscreteParallelMatchesSerial(t *testing.T) {
+	for _, g := range []*graph.G{graph.Cycle(17), graph.Torus(5, 6), graph.Hypercube(5)} {
+		for _, w := range []int{2, 3, 7, 16} {
+			serial := NewDiscrete(g, spikeTokens(g.N()), rand.New(rand.NewSource(5)))
+			par := NewDiscrete(g, spikeTokens(g.N()), rand.New(rand.NewSource(5)))
+			par.Workers = w
+			for r := 0; r < 40; r++ {
+				serial.Step()
+				par.Step()
+				for i := range serial.Load.Tokens() {
+					if serial.Load.Tokens()[i] != par.Load.Tokens()[i] {
+						t.Fatalf("%s workers=%d round %d node %d: %d != %d",
+							g.Name(), w, r, i, par.Load.Tokens()[i], serial.Load.Tokens()[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundRobinParallelMatchesSerial(t *testing.T) {
+	for _, g := range []*graph.G{graph.Cycle(12), graph.Torus(4, 5), graph.Hypercube(4)} {
+		for _, w := range []int{2, 7} {
+			serial := NewRoundRobin(g, spikeFloats(g.N()))
+			par := NewRoundRobin(g, spikeFloats(g.N()))
+			par.Workers = w
+			for r := 0; r < 3*len(serial.Classes); r++ {
+				serial.Step()
+				par.Step()
+				for i := range serial.Load.Vector() {
+					if math.Float64bits(serial.Load.Vector()[i]) != math.Float64bits(par.Load.Vector()[i]) {
+						t.Fatalf("%s workers=%d round %d node %d: %v != %v",
+							g.Name(), w, r, i, par.Load.Vector()[i], serial.Load.Vector()[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoundRobinDiscreteParallelMatchesSerial(t *testing.T) {
+	for _, g := range []*graph.G{graph.Cycle(12), graph.Torus(4, 5), graph.Hypercube(4)} {
+		for _, w := range []int{2, 7} {
+			serial := NewRoundRobinDiscrete(g, spikeTokens(g.N()))
+			par := NewRoundRobinDiscrete(g, spikeTokens(g.N()))
+			par.Workers = w
+			for r := 0; r < 3*len(serial.Classes); r++ {
+				serial.Step()
+				par.Step()
+				for i := range serial.Load.Tokens() {
+					if serial.Load.Tokens()[i] != par.Load.Tokens()[i] {
+						t.Fatalf("%s workers=%d round %d node %d: %d != %d",
+							g.Name(), w, r, i, par.Load.Tokens()[i], serial.Load.Tokens()[i])
+					}
+				}
+			}
+		}
+	}
+}

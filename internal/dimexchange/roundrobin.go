@@ -3,7 +3,19 @@ package dimexchange
 import (
 	"repro/internal/graph"
 	"repro/internal/load"
+	"repro/internal/parallel"
 )
+
+// classPartners precomputes, per color class, each node's mate (−1 when the
+// class leaves it unmatched). The schedule is fixed for the stepper's
+// lifetime, so the parallel path pays for the arrays once, not per round.
+func classPartners(n int, classes [][]graph.Edge) [][]int {
+	out := make([][]int, len(classes))
+	for k, class := range classes {
+		out[k] = matchingPartners(nil, n, class)
+	}
+	return out
+}
 
 // RoundRobin is the deterministic dimension-exchange balancer the paper's
 // introduction attributes to [3]: balancing partners are fixed in a
@@ -18,8 +30,13 @@ type RoundRobin struct {
 	G       *graph.G
 	Load    *load.Continuous
 	Classes [][]graph.Edge
+	// Workers > 1 fans the pair-averaging loop over goroutines; results
+	// are bit-identical for any value.
+	Workers int
 
-	round int
+	round    int
+	partners [][]int
+	next     []float64
 }
 
 // NewRoundRobin builds the schedule from a greedy edge coloring of g.
@@ -52,13 +69,34 @@ func (r *RoundRobin) Step() {
 	if len(r.Classes) == 0 {
 		return
 	}
-	class := r.Classes[r.round%len(r.Classes)]
+	k := r.round % len(r.Classes)
+	class := r.Classes[k]
 	r.round++
 	v := r.Load.Vector()
-	for _, e := range class {
-		avg := (v[e.U] + v[e.V]) / 2
-		v[e.U], v[e.V] = avg, avg
+	w := parallel.StepperWorkers(r.Workers)
+	if w == 1 {
+		for _, e := range class {
+			avg := (v[e.U] + v[e.V]) / 2
+			v[e.U], v[e.V] = avg, avg
+		}
+		return
 	}
+	n := r.G.N()
+	if r.partners == nil {
+		r.partners = classPartners(n, r.Classes)
+	}
+	partner := r.partners[k]
+	if len(r.next) < n {
+		r.next = make([]float64, n)
+	}
+	parallel.For(n, w, func(i int) {
+		if j := partner[i]; j >= 0 {
+			r.next[i] = (v[i] + v[j]) / 2
+		} else {
+			r.next[i] = v[i]
+		}
+	})
+	copy(v, r.next[:n])
 }
 
 // Potential returns Φ of the current distribution.
@@ -72,8 +110,13 @@ type RoundRobinDiscrete struct {
 	G       *graph.G
 	Load    *load.Discrete
 	Classes [][]graph.Edge
+	// Workers > 1 fans the pair-balancing loop over goroutines; results
+	// are identical for any value.
+	Workers int
 
-	round int
+	round    int
+	partners [][]int
+	next     []int64
 }
 
 // NewRoundRobinDiscrete builds the discrete schedule from a greedy edge
@@ -95,18 +138,43 @@ func (r *RoundRobinDiscrete) Step() {
 	if len(r.Classes) == 0 {
 		return
 	}
-	class := r.Classes[r.round%len(r.Classes)]
+	k := r.round % len(r.Classes)
+	class := r.Classes[k]
 	r.round++
 	v := r.Load.Tokens()
-	for _, e := range class {
-		hi, lo := e.U, e.V
-		if v[hi] < v[lo] {
-			hi, lo = lo, hi
+	w := parallel.StepperWorkers(r.Workers)
+	if w == 1 {
+		for _, e := range class {
+			hi, lo := e.U, e.V
+			if v[hi] < v[lo] {
+				hi, lo = lo, hi
+			}
+			t := (v[hi] - v[lo]) / 2
+			v[hi] -= t
+			v[lo] += t
 		}
-		t := (v[hi] - v[lo]) / 2
-		v[hi] -= t
-		v[lo] += t
+		return
 	}
+	n := r.G.N()
+	if r.partners == nil {
+		r.partners = classPartners(n, r.Classes)
+	}
+	partner := r.partners[k]
+	if len(r.next) < n {
+		r.next = make([]int64, n)
+	}
+	parallel.For(n, w, func(i int) {
+		li := v[i]
+		if j := partner[i]; j >= 0 {
+			if lj := v[j]; li > lj {
+				li -= (li - lj) / 2
+			} else if lj > li {
+				li += (lj - li) / 2
+			}
+		}
+		r.next[i] = li
+	})
+	copy(v, r.next[:n])
 }
 
 // Potential returns Φ of the current distribution.

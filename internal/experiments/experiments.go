@@ -32,6 +32,11 @@ type Options struct {
 	// Results are identical for any value: every sweep cell draws from its
 	// own RNG stream derived from Seed and the cell index.
 	Workers int
+	// RoundWorkers is the round-level worker count handed to the steppers
+	// an experiment drives directly (≤ 0 means serial rounds). Like
+	// Workers it is a pure scheduling knob: tables are byte-identical for
+	// any value.
+	RoundWorkers int
 	// ShardIndex/ShardCount restrict every sweep to the cells this process
 	// owns, under the batch engine's assignment rule (cell i runs iff
 	// i % ShardCount == ShardIndex). Foreign cells never run and their rows

@@ -41,10 +41,12 @@ func E17ResidualScaling(o Options) *trace.Table {
 		tokens := workload.Discrete(workload.Spike, g.N(), int64(g.N())*1_000_000, nil)
 
 		a1 := diffusion.NewDiscrete(g, tokens)
+		a1.Workers = o.RoundWorkers
 		for k := 0; k < horizon && !diffusion.DiscreteFixedPoint(g, a1.Load.Tokens()); k++ {
 			a1.Step()
 		}
 		fos := diffusion.NewDiscreteFirstOrder(g, tokens)
+		fos.Workers = o.RoundWorkers
 		for k := 0; k < horizon && !fos.FixedPoint(); k++ {
 			fos.Step()
 		}

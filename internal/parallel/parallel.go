@@ -11,6 +11,19 @@ import (
 	"sync/atomic"
 )
 
+// StepperWorkers normalizes a stepper's round-level Workers field: any
+// value below 1 — in particular the zero value of a stepper constructed
+// without an explicit worker count — selects the serial path. Round-level
+// parallelism is an explicit opt-in, unlike the pool-level convention where
+// 0 means GOMAXPROCS: a stepper embedded in a unit-parallel sweep must not
+// silently oversubscribe the machine just because nobody set the field.
+func StepperWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
 // For runs body(i) for every i in [0, n) across at most workers goroutines,
 // blocking until all iterations complete. workers ≤ 0 selects GOMAXPROCS.
 // Iterations are distributed in contiguous blocks to keep cache locality on

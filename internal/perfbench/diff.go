@@ -1,0 +1,159 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Delta is one baseline-vs-current comparison. Ratio is the normalized
+// cost ratio — current cost over the cost the baseline predicts for this
+// machine (baseline × calibration scale) — so 1.0 means "exactly on the
+// trajectory", above 1 means slower, and a Ratio beyond the gate's
+// tolerance is a regression regardless of which machine ran which report.
+type Delta struct {
+	Key string `json:"key"`
+	// Kind is "ns_per_round" for stepper measurements, "cells_per_sec"
+	// for sweep throughput (inverted into a cost before the ratio, so >1
+	// is always worse).
+	Kind  string  `json:"kind"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Ratio float64 `json:"ratio"`
+}
+
+// DiffResult is the outcome of Compare.
+type DiffResult struct {
+	// Scale is the machine-speed factor: current calibration ns/round over
+	// baseline calibration ns/round. Every comparison divides it out.
+	Scale float64 `json:"scale"`
+	// Deltas covers every key present in both reports, sorted worst-first.
+	Deltas []Delta `json:"deltas"`
+	// Regressions are the Deltas whose Ratio exceeded 1+maxRegress.
+	Regressions []Delta `json:"regressions,omitempty"`
+	// Missing are baseline keys absent from the current report — shrunk
+	// coverage fails the gate exactly like a slowdown, otherwise deleting
+	// a slow benchmark would "fix" it.
+	Missing []string `json:"missing,omitempty"`
+}
+
+// OK reports whether the current report holds the trajectory: no
+// regressions and no missing coverage.
+func (d *DiffResult) OK() bool { return len(d.Regressions) == 0 && len(d.Missing) == 0 }
+
+// Compare gates cur against the committed baseline: every baseline
+// measurement must exist in cur and its calibration-normalized cost must
+// not exceed the baseline's by more than maxRegress (0.25 = 25% slower
+// fails). Keys that are new in cur are ignored — adding coverage is free.
+func Compare(base, cur *Report, maxRegress float64) (*DiffResult, error) {
+	if maxRegress <= 0 {
+		return nil, fmt.Errorf("perfbench: max regression %v must be positive", maxRegress)
+	}
+	if base.CalibrationNs <= 0 || cur.CalibrationNs <= 0 {
+		return nil, fmt.Errorf("perfbench: reports need positive calibration anchors (base %v, current %v)",
+			base.CalibrationNs, cur.CalibrationNs)
+	}
+	d := &DiffResult{Scale: cur.CalibrationNs / base.CalibrationNs}
+
+	curRounds := make(map[string]RoundResult, len(cur.Rounds))
+	for _, r := range cur.Rounds {
+		curRounds[r.Key()] = r
+	}
+	curSweeps := make(map[string]SweepResult, len(cur.Sweeps))
+	for _, s := range cur.Sweeps {
+		curSweeps[s.Key()] = s
+	}
+
+	for _, b := range base.Rounds {
+		c, ok := curRounds[b.Key()]
+		if !ok {
+			d.Missing = append(d.Missing, b.Key())
+			continue
+		}
+		if b.NsPerRound <= 0 {
+			return nil, fmt.Errorf("perfbench: baseline %s has non-positive ns/round", b.Key())
+		}
+		d.Deltas = append(d.Deltas, Delta{
+			Key:   b.Key(),
+			Kind:  "ns_per_round",
+			Old:   b.NsPerRound,
+			New:   c.NsPerRound,
+			Ratio: c.NsPerRound / (b.NsPerRound * d.Scale),
+		})
+	}
+	for _, b := range base.Sweeps {
+		c, ok := curSweeps[b.Key()]
+		if !ok {
+			d.Missing = append(d.Missing, b.Key())
+			continue
+		}
+		if b.CellsPerSec <= 0 || c.CellsPerSec <= 0 {
+			return nil, fmt.Errorf("perfbench: sweep %s has non-positive cells/sec", b.Key())
+		}
+		// Throughput inverts into cost: ratio = (1/new) / (scale/old).
+		d.Deltas = append(d.Deltas, Delta{
+			Key:   b.Key(),
+			Kind:  "cells_per_sec",
+			Old:   b.CellsPerSec,
+			New:   c.CellsPerSec,
+			Ratio: b.CellsPerSec / (c.CellsPerSec * d.Scale),
+		})
+	}
+
+	sort.Slice(d.Deltas, func(i, j int) bool { return d.Deltas[i].Ratio > d.Deltas[j].Ratio })
+	for _, delta := range d.Deltas {
+		if delta.Ratio > 1+maxRegress {
+			d.Regressions = append(d.Regressions, delta)
+		}
+	}
+	sort.Strings(d.Missing)
+	return d, nil
+}
+
+// Render writes the human-readable diff summary.
+func (d *DiffResult) Render(w io.Writer, maxRegress float64) {
+	fmt.Fprintf(w, "machine scale: %.3f× the baseline machine (calibration-normalized)\n", d.Scale)
+	for _, delta := range d.Deltas {
+		mark := "  "
+		if delta.Ratio > 1+maxRegress {
+			mark = "✗ "
+		}
+		fmt.Fprintf(w, "%s%-48s %8.3f× (%s %.0f → %.0f)\n",
+			mark, delta.Key, delta.Ratio, delta.Kind, delta.Old, delta.New)
+	}
+	for _, key := range d.Missing {
+		fmt.Fprintf(w, "✗ %-48s MISSING from current report\n", key)
+	}
+	switch {
+	case !d.OK():
+		fmt.Fprintf(w, "FAIL: %d regression(s) beyond %.0f%%, %d missing key(s)\n",
+			len(d.Regressions), maxRegress*100, len(d.Missing))
+	default:
+		fmt.Fprintf(w, "ok: %d comparisons within %.0f%% of the trajectory\n",
+			len(d.Deltas), maxRegress*100)
+	}
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report written by WriteFile.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,168 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func baseReport() *Report {
+	return &Report{
+		Version:       1,
+		CalibrationNs: 1000,
+		Rounds: []RoundResult{
+			{Topology: "torus", Algorithm: "diffusion", Mode: "continuous", N: 1024, RoundWorkers: 1, NsPerRound: 5000},
+			{Topology: "torus", Algorithm: "randpair", Mode: "discrete", N: 4096, RoundWorkers: 8, NsPerRound: 20000},
+		},
+		Sweeps: []SweepResult{
+			{Name: "many-small", UnitWorkers: 4, RoundWorkers: 1, CellsPerSec: 50},
+		},
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	res, err := Compare(baseReport(), baseReport(), 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("identical reports flagged: %+v", res)
+	}
+	if res.Scale != 1 {
+		t.Fatalf("scale = %v, want 1", res.Scale)
+	}
+	if len(res.Deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3", len(res.Deltas))
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	cur := baseReport()
+	cur.Rounds[0].NsPerRound *= 2 // 100% slower
+	res, err := Compare(baseReport(), cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || len(res.Regressions) != 1 {
+		t.Fatalf("2× slowdown not flagged: %+v", res)
+	}
+	if res.Regressions[0].Key != cur.Rounds[0].Key() {
+		t.Fatalf("flagged %s, want %s", res.Regressions[0].Key, cur.Rounds[0].Key())
+	}
+}
+
+func TestCompareFlagsThroughputDrop(t *testing.T) {
+	cur := baseReport()
+	cur.Sweeps[0].CellsPerSec /= 2 // half the throughput
+	res, err := Compare(baseReport(), cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || len(res.Regressions) != 1 || res.Regressions[0].Kind != "cells_per_sec" {
+		t.Fatalf("throughput drop not flagged: %+v", res)
+	}
+}
+
+// TestCompareNormalizesMachineSpeed: a uniformly 2× slower machine (the
+// calibration anchor doubled along with every measurement) is not a
+// regression — only movement relative to the anchor is.
+func TestCompareNormalizesMachineSpeed(t *testing.T) {
+	cur := baseReport()
+	cur.CalibrationNs *= 2
+	for i := range cur.Rounds {
+		cur.Rounds[i].NsPerRound *= 2
+	}
+	for i := range cur.Sweeps {
+		cur.Sweeps[i].CellsPerSec /= 2
+	}
+	res, err := Compare(baseReport(), cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("uniform 2× slowdown (slower machine) flagged as regression: %+v", res)
+	}
+	// And a real regression still shows through the machine scaling.
+	cur.Rounds[1].NsPerRound *= 2
+	if res, err = Compare(baseReport(), cur, 0.25); err != nil || len(res.Regressions) != 1 {
+		t.Fatalf("regression hidden by machine scaling: %+v (err %v)", res, err)
+	}
+}
+
+func TestCompareMissingCoverageFails(t *testing.T) {
+	cur := baseReport()
+	cur.Rounds = cur.Rounds[:1]
+	cur.Sweeps = nil
+	res, err := Compare(baseReport(), cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || len(res.Missing) != 2 {
+		t.Fatalf("shrunk coverage not flagged: %+v", res)
+	}
+}
+
+func TestCompareExtraCoverageIsFree(t *testing.T) {
+	cur := baseReport()
+	cur.Rounds = append(cur.Rounds, RoundResult{
+		Topology: "hypercube", Algorithm: "diffusion", Mode: "continuous",
+		N: 1024, RoundWorkers: 1, NsPerRound: 123456,
+	})
+	res, err := Compare(baseReport(), cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || len(res.Deltas) != 3 {
+		t.Fatalf("added coverage penalized: %+v", res)
+	}
+}
+
+func TestCompareRejectsBadAnchors(t *testing.T) {
+	cur := baseReport()
+	cur.CalibrationNs = 0
+	if _, err := Compare(baseReport(), cur, 0.25); err == nil {
+		t.Fatal("zero calibration anchor accepted")
+	}
+	if _, err := Compare(baseReport(), baseReport(), 0); err == nil {
+		t.Fatal("zero tolerance accepted")
+	}
+}
+
+// TestRunSmoke drives the real harness on a tiny grid: checks the report
+// shape, the built-in checksum identity across worker counts, and that the
+// result round-trips through Compare cleanly against itself.
+func TestRunSmoke(t *testing.T) {
+	rep, err := Run(Config{
+		Topologies:       []string{"torus"},
+		Algorithms:       []string{"diffusion", "dimexchange"},
+		Modes:            []string{"continuous", "discrete"},
+		Sizes:            []int{64},
+		RoundWorkersList: []int{1, 3},
+		RoundsBudget:     1, // clamps to 64 rounds per sample
+		Samples:          1,
+		SkipSweeps:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CalibrationNs <= 0 {
+		t.Fatalf("calibration anchor %v", rep.CalibrationNs)
+	}
+	if len(rep.Rounds) != 8 { // 2 algos × 2 modes × 2 worker counts
+		t.Fatalf("got %d round measurements, want 8", len(rep.Rounds))
+	}
+	for _, r := range rep.Rounds {
+		if r.NsPerRound <= 0 || r.RoundsTimed != 64 {
+			t.Fatalf("bad measurement %+v", r)
+		}
+		if r.Checksum == "" || r.Checksum == "unavailable" || !strings.ContainsAny(r.Checksum, "0123456789abcdef") {
+			t.Fatalf("bad checksum in %+v", r)
+		}
+	}
+	res, err := Compare(rep, rep, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("report does not match itself: %+v", res)
+	}
+}

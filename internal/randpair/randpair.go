@@ -20,6 +20,7 @@ import (
 	"math/rand"
 
 	"repro/internal/load"
+	"repro/internal/parallel"
 )
 
 // Link is one balancing link of a round; unlike graph.Edge it is not
@@ -72,11 +73,87 @@ const DiscreteDropBound = 39.0 / 40.0
 type Continuous struct {
 	Load *load.Continuous
 	RNG  *rand.Rand
+	// Workers > 1 fans the transfer application over goroutines. Every
+	// transfer is computed from the round-start vector, and each node
+	// accumulates its incident transfers in global link order — the exact
+	// floating-point operation chain of the serial loop — so results are
+	// bit-identical for any value.
+	Workers int
 
 	// LastLinks / LastDegrees expose the most recent round's structure for
 	// the Lemma 9 experiments.
 	LastLinks   []Link
 	LastDegrees []int
+
+	inc incidence
+}
+
+// incidence is the reusable CSR scratch of a round's link multiset: for
+// node i, ent[off[i]:off[i+1]] holds the signed transfer amounts of i's
+// incident links, in global link order. Per-node accumulation over it
+// replays each node's serial mutation chain exactly (x − w ≡ x + (−w) in
+// IEEE arithmetic), which is what makes the parallel path bit-identical.
+type incidence struct {
+	off    []int
+	cursor []int
+	ent    []float64
+}
+
+// build fills the structure from the round's effective links: f(k) returns
+// link k's transfer magnitude (0 to skip) computed from round-start loads;
+// the signed entries land on both endpoints.
+func (inc *incidence) build(n int, links []Link, start []float64, deg []int, f func(i, j, d int) float64) {
+	if cap(inc.off) < n+1 {
+		inc.off = make([]int, n+1)
+		inc.cursor = make([]int, n)
+	}
+	inc.off = inc.off[:n+1]
+	inc.cursor = inc.cursor[:n]
+	for i := range inc.cursor {
+		inc.cursor[i] = 0
+	}
+	for _, lk := range links {
+		if d := maxDeg(deg, lk); d != 0 && start[lk.From] != start[lk.To] {
+			inc.cursor[lk.From]++
+			inc.cursor[lk.To]++
+		}
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		inc.off[i] = total
+		total += inc.cursor[i]
+		inc.cursor[i] = inc.off[i]
+	}
+	inc.off[n] = total
+	if cap(inc.ent) < total {
+		inc.ent = make([]float64, total)
+	}
+	inc.ent = inc.ent[:total]
+	for _, lk := range links {
+		i, j := lk.From, lk.To
+		d := maxDeg(deg, lk)
+		if d == 0 || start[i] == start[j] {
+			continue
+		}
+		w := f(i, j, d)
+		// Match the serial loop exactly: the heavier endpoint sends w.
+		if start[i] > start[j] {
+			w = -w
+		}
+		inc.ent[inc.cursor[i]] = w
+		inc.cursor[i]++
+		inc.ent[inc.cursor[j]] = -w
+		inc.cursor[j]++
+	}
+}
+
+// maxDeg is max(d(From), d(To)) for a link.
+func maxDeg(deg []int, lk Link) int {
+	d := deg[lk.From]
+	if deg[lk.To] > d {
+		d = deg[lk.To]
+	}
+	return d
 }
 
 // NewContinuous creates a stepper over a copy of the initial loads.
@@ -92,28 +169,44 @@ func (c *Continuous) Step() {
 	deg := Degrees(n, links)
 	v := c.Load.Vector()
 	start := v.Clone()
-	for _, lk := range links {
-		i, j := lk.From, lk.To
-		d := deg[i]
-		if deg[j] > d {
-			d = deg[j]
+	workers := parallel.StepperWorkers(c.Workers)
+	if workers == 1 {
+		for _, lk := range links {
+			i, j := lk.From, lk.To
+			d := deg[i]
+			if deg[j] > d {
+				d = deg[j]
+			}
+			if d == 0 {
+				continue
+			}
+			diff := start[i] - start[j]
+			if diff == 0 {
+				continue
+			}
+			w := math.Abs(diff) / (4 * float64(d))
+			if diff > 0 {
+				v[i] -= w
+				v[j] += w
+			} else {
+				v[j] -= w
+				v[i] += w
+			}
 		}
-		if d == 0 {
-			continue
-		}
-		diff := start[i] - start[j]
-		if diff == 0 {
-			continue
-		}
-		w := math.Abs(diff) / (4 * float64(d))
-		if diff > 0 {
-			v[i] -= w
-			v[j] += w
-		} else {
-			v[j] -= w
-			v[i] += w
-		}
+		c.LastLinks, c.LastDegrees = links, deg
+		return
 	}
+	c.inc.build(n, links, start, deg, func(i, j, d int) float64 {
+		return math.Abs(start[i]-start[j]) / (4 * float64(d))
+	})
+	inc := &c.inc
+	parallel.For(n, workers, func(i int) {
+		acc := start[i]
+		for k := inc.off[i]; k < inc.off[i+1]; k++ {
+			acc += inc.ent[k]
+		}
+		v[i] = acc
+	})
 	c.LastLinks, c.LastDegrees = links, deg
 }
 
@@ -127,9 +220,71 @@ func (c *Continuous) LoadVector() []float64 { return c.Load.Vector() }
 type Discrete struct {
 	Load *load.Discrete
 	RNG  *rand.Rand
+	// Workers > 1 fans the transfer application over goroutines; token
+	// arithmetic is order-free, so results are identical for any value.
+	Workers int
 
 	LastLinks   []Link
 	LastDegrees []int
+
+	inc incidence64
+}
+
+// incidence64 is incidence for token transfers (zero-token links become 0
+// entries, which integer accumulation ignores).
+type incidence64 struct {
+	off    []int
+	cursor []int
+	ent    []int64
+}
+
+func (inc *incidence64) build(n int, links []Link, start []int64, deg []int) {
+	if cap(inc.off) < n+1 {
+		inc.off = make([]int, n+1)
+		inc.cursor = make([]int, n)
+	}
+	inc.off = inc.off[:n+1]
+	inc.cursor = inc.cursor[:n]
+	for i := range inc.cursor {
+		inc.cursor[i] = 0
+	}
+	for _, lk := range links {
+		if d := maxDeg(deg, lk); d != 0 && start[lk.From] != start[lk.To] {
+			inc.cursor[lk.From]++
+			inc.cursor[lk.To]++
+		}
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		inc.off[i] = total
+		total += inc.cursor[i]
+		inc.cursor[i] = inc.off[i]
+	}
+	inc.off[n] = total
+	if cap(inc.ent) < total {
+		inc.ent = make([]int64, total)
+	}
+	inc.ent = inc.ent[:total]
+	for _, lk := range links {
+		i, j := lk.From, lk.To
+		d := maxDeg(deg, lk)
+		if d == 0 || start[i] == start[j] {
+			continue
+		}
+		diff := start[i] - start[j]
+		abs := diff
+		if abs < 0 {
+			abs = -abs
+		}
+		t := abs / int64(4*d)
+		if diff > 0 {
+			t = -t
+		}
+		inc.ent[inc.cursor[i]] = t
+		inc.cursor[i]++
+		inc.ent[inc.cursor[j]] = -t
+		inc.cursor[j]++
+	}
 }
 
 // NewDiscrete creates a stepper over a copy of the initial token counts.
@@ -145,35 +300,49 @@ func (d *Discrete) Step() {
 	v := d.Load.Tokens()
 	start := make([]int64, n)
 	copy(start, v)
-	for _, lk := range links {
-		i, j := lk.From, lk.To
-		dd := deg[i]
-		if deg[j] > dd {
-			dd = deg[j]
+	workers := parallel.StepperWorkers(d.Workers)
+	if workers == 1 {
+		for _, lk := range links {
+			i, j := lk.From, lk.To
+			dd := deg[i]
+			if deg[j] > dd {
+				dd = deg[j]
+			}
+			if dd == 0 {
+				continue
+			}
+			diff := start[i] - start[j]
+			if diff == 0 {
+				continue
+			}
+			abs := diff
+			if abs < 0 {
+				abs = -abs
+			}
+			t := abs / int64(4*dd)
+			if t == 0 {
+				continue
+			}
+			if diff > 0 {
+				v[i] -= t
+				v[j] += t
+			} else {
+				v[j] -= t
+				v[i] += t
+			}
 		}
-		if dd == 0 {
-			continue
-		}
-		diff := start[i] - start[j]
-		if diff == 0 {
-			continue
-		}
-		abs := diff
-		if abs < 0 {
-			abs = -abs
-		}
-		t := abs / int64(4*dd)
-		if t == 0 {
-			continue
-		}
-		if diff > 0 {
-			v[i] -= t
-			v[j] += t
-		} else {
-			v[j] -= t
-			v[i] += t
-		}
+		d.LastLinks, d.LastDegrees = links, deg
+		return
 	}
+	d.inc.build(n, links, start, deg)
+	inc := &d.inc
+	parallel.For(n, workers, func(i int) {
+		acc := start[i]
+		for k := inc.off[i]; k < inc.off[i+1]; k++ {
+			acc += inc.ent[k]
+		}
+		v[i] = acc
+	})
 	d.LastLinks, d.LastDegrees = links, deg
 }
 
