@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate large-n-smoke round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke ci
 
 build:
 	$(GO) build ./...
@@ -49,7 +49,14 @@ perfbench:
 # bench-trajectory job: >25% calibration-normalized regression (or shrunk
 # coverage) fails.
 bench-gate: perfbench
-	$(GO) run ./cmd/perfbench -diff -max-regress 0.25 BENCH_PR6.json /tmp/bench-current.json
+	$(GO) run ./cmd/perfbench -diff -max-regress 0.25 BENCH_PR7.json /tmp/bench-current.json
+
+# Million-node gate: a 2^20-node hypercube diffusion cell (the CSR hot loop
+# at scale) plus an implicit Lanczos λ₂ solve on the 2^20-node de Bruijn
+# graph, under a wall-clock budget, failing if the dense eigensolver ran at
+# all. Mirrors CI's large-n-smoke job.
+large-n-smoke:
+	$(GO) run ./cmd/perfbench -large-n-smoke
 
 # Round-level parallelism smoke: the stepper/scenario packages under -race
 # with 8 round workers, plus rw1-vs-rw8-vs-auto byte-identity of a real

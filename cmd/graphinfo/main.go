@@ -44,7 +44,7 @@ func main() {
 	fmt.Printf("graph        : %s\n", g)
 	fmt.Printf("connected    : %v\n", g.IsConnected())
 	fmt.Printf("diameter     : %d\n", graph.Diameter(g))
-	fmt.Printf("λ₂           : %.8g (%s)\n", rep.Lambda2, method(rep.Exact))
+	fmt.Printf("λ₂           : %.8g (%s)\n", rep.Lambda2, rep.Method)
 	if cf, ok := graph.KnownLambda2(g); ok {
 		fmt.Printf("λ₂ closed    : %.8g (Δ = %.2g)\n", cf, math.Abs(cf-rep.Lambda2))
 	}
@@ -73,11 +73,4 @@ func main() {
 			fmt.Printf("  λ_%-3d = %.8g\n", i+1, v)
 		}
 	}
-}
-
-func method(exact bool) string {
-	if exact {
-		return "dense Householder+QL"
-	}
-	return "inverse-power CG"
 }

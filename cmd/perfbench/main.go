@@ -15,18 +15,31 @@
 // Every baseline key must be present in the current report (shrinking
 // coverage fails like a slowdown), and any measurement whose normalized
 // cost exceeds the baseline by more than -max-regress fails the gate.
+// Reports recorded on machines with different core counts compare with a
+// loud warning — the calibration anchor divides out clock speed, not shape.
 //
-// Exit codes: 0 success; 1 regression, missing coverage, or a byte-identity
-// violation between round-worker counts; 2 usage or I/O errors.
+// Measure mode also covers the large-n regime: -large-sizes (default
+// 2^17, 2^20) adds one serial diffusion row and one timed λ₂ solve per
+// topology at each size, with the spectral solver path (closed-form,
+// lanczos, …) pinned in the report. -large-n-smoke is the quick CI
+// variant: a million-node hypercube diffusion cell plus an implicit
+// Lanczos λ₂ solve under -smoke-budget, failing if the dense eigensolver
+// ran at all.
+//
+// Exit codes: 0 success; 1 regression, missing coverage, a smoke-gate
+// failure, or a byte-identity violation between round-worker counts; 2
+// usage or I/O errors.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/perfbench"
 )
@@ -49,8 +62,29 @@ func run() int {
 		budget    = flag.Int("budget", 0, "node-operation budget per sample; rounds timed = budget/n in [64,4096] (default 2^22)")
 		noSweeps  = flag.Bool("no-sweeps", false, "skip the two cells/sec reference sweeps (quicker local runs; the CI gate keeps them)")
 		quiet     = flag.Bool("q", false, "suppress per-measurement progress on stderr")
+
+		largeSizes = flag.String("large-sizes", "131072,1048576",
+			"comma-separated large-n node counts: each topology gets a serial diffusion row plus a timed λ₂ solve at these sizes (\"none\" disables)")
+		smoke       = flag.Bool("large-n-smoke", false, "run the million-node smoke gate (2^20 hypercube diffusion + Lanczos λ₂ on de Bruijn) and exit")
+		smokeBudget = flag.Duration("smoke-budget", 5*time.Minute, "with -large-n-smoke: wall-clock budget before the gate fails (0 = unlimited)")
 	)
 	flag.Parse()
+
+	if *smoke {
+		var logw io.Writer
+		if !*quiet {
+			logw = os.Stderr
+		}
+		res, err := perfbench.LargeNSmoke(*smokeBudget, logw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("large-n smoke ok: hypercube n=%d at %.0f ns/round; λ₂(%s, n=%d)=%.6g via %s in %dms; dense solves: %d; total %v\n",
+			res.DiffusionN, res.DiffusionNs, res.Lambda2Topology, res.Lambda2N, res.Lambda2,
+			res.Lambda2Path, res.Lambda2Ns/1e6, res.DenseSolvesDelta, res.Elapsed.Round(time.Millisecond))
+		return 0
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {
@@ -103,6 +137,12 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "perfbench: bad -round-workers: %v\n", err)
 		return 2
 	}
+	if *largeSizes != "none" {
+		if cfg.LargeSizes, err = splitInts(*largeSizes); err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: bad -large-sizes: %v\n", err)
+			return 2
+		}
+	}
 
 	rep, err := perfbench.Run(cfg)
 	if err != nil {
@@ -127,7 +167,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "perfbench: %v\n", err)
 		return 2
 	}
-	fmt.Fprintf(os.Stderr, "perfbench: wrote %s (%d round measurements, %d sweeps)\n", *out, len(rep.Rounds), len(rep.Sweeps))
+	fmt.Fprintf(os.Stderr, "perfbench: wrote %s (%d round measurements, %d λ₂ solves, %d sweeps)\n",
+		*out, len(rep.Rounds), len(rep.Spectra), len(rep.Sweeps))
 	return 0
 }
 

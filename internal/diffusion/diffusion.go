@@ -117,15 +117,28 @@ func (c *Continuous) Step() {
 	if c.next == nil {
 		c.next = make(matrix.Vector, n)
 	}
+	// The round body scans the CSR rows — one contiguous index stream —
+	// instead of pointer-chasing per-node slices. Neighbour order and the
+	// floating-point operation chain are identical to the slice form (the CSR
+	// contract in graph.CSR), so checksums match bit-for-bit.
+	off, tgt := g.CSR()
 	body := func(i int) {
 		li := cur[i]
 		acc := li
-		for _, j := range g.Neighbors(i) {
+		// Reslicing the row once keeps the inner loop free of repeated
+		// offset loads and target bounds checks.
+		row := tgt[off[i]:off[i+1]]
+		di := len(row)
+		for _, j := range row {
 			lj := cur[j]
 			if li == lj {
 				continue
 			}
-			w := EdgeWeight(g, i, j, li, lj)
+			d := di
+			if dj := int(off[j+1] - off[j]); dj > d {
+				d = dj
+			}
+			w := math.Abs(li-lj) / (4 * float64(d))
 			if li > lj {
 				acc -= w
 			} else {
@@ -172,15 +185,22 @@ func (d *Discrete) Step() {
 	if d.next == nil {
 		d.next = make([]int64, n)
 	}
+	off, tgt := g.CSR()
 	body := func(i int) {
 		li := cur[i]
 		acc := li
-		for _, j := range g.Neighbors(i) {
+		row := tgt[off[i]:off[i+1]]
+		di := len(row)
+		for _, j := range row {
 			lj := cur[j]
 			if li == lj {
 				continue
 			}
-			w := int64(EdgeWeight(g, i, j, float64(li), float64(lj)))
+			d := di
+			if dj := int(off[j+1] - off[j]); dj > d {
+				d = dj
+			}
+			w := int64(math.Abs(float64(li)-float64(lj)) / (4 * float64(d)))
 			if li > lj {
 				acc -= w
 			} else {

@@ -48,10 +48,11 @@ func (d *DiscreteFirstOrder) Step() {
 		d.next = make([]int64, n)
 	}
 	alpha := d.Alpha
+	off, tgt := g.CSR()
 	parallel.For(n, parallel.StepperWorkers(d.Workers), func(i int) {
 		li := cur[i]
 		acc := li
-		for _, j := range g.Neighbors(i) {
+		for _, j := range tgt[off[i]:off[i+1]] {
 			lj := cur[j]
 			if li == lj {
 				continue

@@ -122,10 +122,12 @@ func (o *OPS) Step() {
 	if o.next == nil {
 		o.next = make(matrix.Vector, n)
 	}
-	// next = cur − (1/λ)·L·cur, applied sparsely.
+	// next = cur − (1/λ)·L·cur, applied sparsely over the CSR rows.
+	off, tgt := o.G.CSR()
 	for i := 0; i < n; i++ {
-		s := float64(o.G.Degree(i)) * cur[i]
-		for _, j := range o.G.Neighbors(i) {
+		row := tgt[off[i]:off[i+1]]
+		s := float64(len(row)) * cur[i]
+		for _, j := range row {
 			s -= cur[j]
 		}
 		o.next[i] = cur[i] - s/lam

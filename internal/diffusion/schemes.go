@@ -42,10 +42,11 @@ func (f *FirstOrder) Step() {
 		f.next = make(matrix.Vector, n)
 	}
 	alpha := f.Alpha
+	off, tgt := g.CSR()
 	parallel.For(n, parallel.StepperWorkers(f.Workers), func(i int) {
 		li := cur[i]
 		acc := li
-		for _, j := range g.Neighbors(i) {
+		for _, j := range tgt[off[i]:off[i+1]] {
 			acc += alpha * (cur[j] - li)
 		}
 		f.next[i] = acc
@@ -110,12 +111,13 @@ func (s *SecondOrder) Step() {
 	}
 	alpha, beta := s.Alpha, s.Beta
 	workers := parallel.StepperWorkers(s.Workers)
+	off, tgt := g.CSR()
 	if s.round == 0 {
 		s.prev = cur.Clone()
 		parallel.For(n, workers, func(i int) {
 			li := cur[i]
 			acc := li
-			for _, j := range g.Neighbors(i) {
+			for _, j := range tgt[off[i]:off[i+1]] {
 				acc += alpha * (cur[j] - li)
 			}
 			s.next[i] = acc
@@ -124,7 +126,7 @@ func (s *SecondOrder) Step() {
 		parallel.For(n, workers, func(i int) {
 			li := cur[i]
 			ml := li
-			for _, j := range g.Neighbors(i) {
+			for _, j := range tgt[off[i]:off[i+1]] {
 				ml += alpha * (cur[j] - li)
 			}
 			s.next[i] = beta*ml + (1-beta)*s.prev[i]

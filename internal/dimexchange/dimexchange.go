@@ -51,13 +51,16 @@ func matchingPartners(partner []int, n int, m []graph.Edge) []int {
 func RandomMatching(g *graph.G, rng *rand.Rand) []graph.Edge {
 	n := g.N()
 	proposal := make([]int, n)
+	// CSR rows replay the Neighbors order exactly, so the rng.Intn draw
+	// sequence — and with it every sampled matching — is unchanged.
+	off, tgt := g.CSR()
 	for i := 0; i < n; i++ {
-		nb := g.Neighbors(i)
-		if len(nb) == 0 {
+		deg := off[i+1] - off[i]
+		if deg == 0 {
 			proposal[i] = -1
 			continue
 		}
-		proposal[i] = nb[rng.Intn(len(nb))]
+		proposal[i] = tgt[off[i]+rng.Intn(deg)]
 	}
 	matched := make([]bool, n)
 	var m []graph.Edge

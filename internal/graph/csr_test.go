@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCSRLayoutContract verifies every clause of the CSR accessor's
+// documented contract on a spread of topologies, including the one the
+// steppers' bit-identity depends on: each CSR row replays Neighbors(i)
+// element-for-element, in the same order.
+func TestCSRLayoutContract(t *testing.T) {
+	cases := []*G{
+		Path(2),
+		Cycle(9),
+		Torus(5, 7),
+		Hypercube(6),
+		DeBruijn(6),
+		Complete(12),
+		Star(15),
+		RandomRegular(40, 4, rand.New(rand.NewSource(3))),
+		ErdosRenyi(30, 0.2, rand.New(rand.NewSource(5))), // irregular degrees
+	}
+	for _, g := range cases {
+		off, tgt := g.CSR()
+		if len(off) != g.N()+1 {
+			t.Fatalf("%s: len(offsets) = %d, want N()+1 = %d", g.Name(), len(off), g.N()+1)
+		}
+		if off[0] != 0 || int(off[g.N()]) != 2*g.M() {
+			t.Fatalf("%s: offsets span [%d, %d], want [0, %d]", g.Name(), off[0], off[g.N()], 2*g.M())
+		}
+		if len(tgt) != 2*g.M() {
+			t.Fatalf("%s: len(targets) = %d, want 2·M() = %d", g.Name(), len(tgt), 2*g.M())
+		}
+		for i := 0; i < g.N(); i++ {
+			row := tgt[off[i]:off[i+1]]
+			nbrs := g.Neighbors(i)
+			if len(row) != len(nbrs) || len(row) != g.Degree(i) {
+				t.Fatalf("%s: node %d row length %d, Neighbors %d, Degree %d", g.Name(), i, len(row), len(nbrs), g.Degree(i))
+			}
+			for k, v := range row {
+				if int(v) != nbrs[k] {
+					t.Fatalf("%s: node %d position %d: CSR %d, Neighbors %d", g.Name(), i, k, v, nbrs[k])
+				}
+				if k > 0 && row[k-1] >= v {
+					t.Fatalf("%s: node %d row not strictly ascending at position %d", g.Name(), i, k)
+				}
+			}
+			if len(row) > 0 && &row[0] != &nbrs[0] {
+				t.Fatalf("%s: node %d Neighbors does not alias the CSR targets backing", g.Name(), i)
+			}
+		}
+	}
+}
+
+// TestCSRSingletonAndEdgeless covers the degenerate shapes: isolated nodes
+// get empty rows, not missing ones.
+func TestCSRSingletonAndEdgeless(t *testing.T) {
+	b := NewBuilder("edgeless", 4)
+	g := b.MustFinish()
+	off, tgt := g.CSR()
+	if len(off) != 5 || len(tgt) != 0 {
+		t.Fatalf("edgeless: offsets %v, targets len %d", off, len(tgt))
+	}
+	for i := 0; i < 4; i++ {
+		if off[i] != 0 {
+			t.Fatalf("edgeless: offset[%d] = %d, want 0", i, off[i])
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"slices"
 	"sort"
 	"sync"
 
@@ -47,29 +48,46 @@ func (e Edge) Other(x int) int {
 }
 
 // G is an immutable simple undirected graph with nodes 0..n−1.
+//
+// Besides the per-node neighbour slices, every graph carries a flat CSR
+// (compressed sparse row) view of its adjacency — a single offsets array and
+// a single targets array — built once in Finish. The CSR view is the layout
+// the per-round stepper hot loops scan: one contiguous stream instead of n
+// pointer-chased slices, which is what keeps a million-node round
+// cache-friendly. The neighbour slices are row views into the same targets
+// array, so the two representations share one backing allocation. See CSR
+// for the layout contract.
 type G struct {
 	name  string
 	n     int
-	adj   [][]int // sorted neighbour lists
+	adj   [][]int // sorted neighbour lists (views into csrTgt)
 	edges []Edge  // canonical, sorted lexicographically
 	deg   []int
+
+	csrOff []int // len n+1; node i's neighbours at csrTgt[csrOff[i]:csrOff[i+1]]
+	csrTgt []int // len 2m; ascending within each node's range
 
 	fpOnce sync.Once
 	fp     uint64
 }
 
-// Builder accumulates edges and produces an immutable G. Duplicate edges and
-// self loops are rejected at Finish time.
+// Builder accumulates edges and produces an immutable G. Self loops and
+// out-of-range endpoints are rejected at Finish time; duplicate AddEdge
+// calls for the same undirected edge collapse to one edge.
+//
+// Edges are kept as packed (u,v) keys in an append-only slice and
+// sort+deduplicated once in Finish — O(m log m) with one allocation, rather
+// than the hash-map-per-edge cost that dominated million-edge builds.
 type Builder struct {
-	name  string
-	n     int
-	edges map[Edge]struct{}
-	err   error
+	name   string
+	n      int
+	packed []uint64 // canonical edges as U<<32|V
+	err    error
 }
 
 // NewBuilder starts a builder for a graph with n nodes.
 func NewBuilder(name string, n int) *Builder {
-	b := &Builder{name: name, n: n, edges: make(map[Edge]struct{})}
+	b := &Builder{name: name, n: n}
 	if n < 0 {
 		b.err = errors.New("graph: negative node count")
 	}
@@ -90,7 +108,10 @@ func (b *Builder) AddEdge(u, v int) {
 		b.err = fmt.Errorf("graph: self loop at node %d", u)
 		return
 	}
-	b.edges[Edge{U: u, V: v}.Canonical()] = struct{}{}
+	if u > v {
+		u, v = v, u
+	}
+	b.packed = append(b.packed, uint64(u)<<32|uint64(v))
 }
 
 // Finish validates and freezes the graph.
@@ -98,24 +119,45 @@ func (b *Builder) Finish() (*G, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	g := &G{name: b.name, n: b.n, adj: make([][]int, b.n), deg: make([]int, b.n)}
-	g.edges = make([]Edge, 0, len(b.edges))
-	for e := range b.edges {
-		g.edges = append(g.edges, e)
+	slices.Sort(b.packed)
+	b.packed = slices.Compact(b.packed)
+	m := len(b.packed)
+	g := &G{name: b.name, n: b.n, deg: make([]int, b.n)}
+	g.edges = make([]Edge, m)
+	for k, p := range b.packed {
+		u, v := int(p>>32), int(uint32(p))
+		g.edges[k] = Edge{U: u, V: v}
+		g.deg[u]++
+		g.deg[v]++
 	}
-	sort.Slice(g.edges, func(i, j int) bool {
-		if g.edges[i].U != g.edges[j].U {
-			return g.edges[i].U < g.edges[j].U
-		}
-		return g.edges[i].V < g.edges[j].V
-	})
+
+	// CSR offsets by prefix sum, then a single placement pass. Iterating the
+	// sorted edge list places each node's smaller neighbours (from edges
+	// where it is V, ascending by U) before its larger ones (from its own U
+	// block, ascending by V), so every row comes out ascending without a
+	// per-node sort.
+	g.csrOff = make([]int, b.n+1)
+	total := 0
+	for i, d := range g.deg {
+		g.csrOff[i] = total
+		total += d
+	}
+	g.csrOff[b.n] = total
+	g.csrTgt = make([]int, total)
+	cursor := make([]int, b.n)
+	copy(cursor, g.csrOff[:b.n])
 	for _, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], e.V)
-		g.adj[e.V] = append(g.adj[e.V], e.U)
+		g.csrTgt[cursor[e.U]] = e.V
+		cursor[e.U]++
+		g.csrTgt[cursor[e.V]] = e.U
+		cursor[e.V]++
 	}
-	for i := range g.adj {
-		sort.Ints(g.adj[i])
-		g.deg[i] = len(g.adj[i])
+
+	// The neighbour slices are capped row views into the CSR targets, so the
+	// slice API shares the one backing allocation instead of copying it.
+	g.adj = make([][]int, b.n)
+	for i := 0; i < b.n; i++ {
+		g.adj[i] = g.csrTgt[g.csrOff[i]:g.csrOff[i+1]:g.csrOff[i+1]]
 	}
 	return g, nil
 }
@@ -145,6 +187,20 @@ func (g *G) Edges() []Edge { return g.edges }
 // Neighbors returns the sorted neighbour list of node i. Callers must not
 // mutate it.
 func (g *G) Neighbors(i int) []int { return g.adj[i] }
+
+// CSR returns the flat compressed-sparse-row adjacency view: node i's
+// neighbours are targets[offsets[i]:offsets[i+1]], ascending, and
+// offsets[i+1]−offsets[i] equals Degree(i). Both slices are shared with the
+// graph and must not be mutated.
+//
+// Layout contract (steppers depend on every clause):
+//   - offsets has length N()+1 with offsets[0] = 0 and offsets[N()] = 2·M();
+//   - each row lists the same neighbours, in the same ascending order, as
+//     Neighbors(i) — a loop converted from Neighbors to CSR therefore
+//     replays the exact serial IEEE operation chain and stays bit-identical;
+//   - Neighbors(i) is a capped view of targets[offsets[i]:offsets[i+1]], so
+//     the two representations alias one backing array.
+func (g *G) CSR() (offsets, targets []int) { return g.csrOff, g.csrTgt }
 
 // Degree returns the degree of node i.
 func (g *G) Degree(i int) int { return g.deg[i] }

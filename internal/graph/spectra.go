@@ -130,30 +130,219 @@ func HypercubeSpectrum(d int) []float64 {
 	return out
 }
 
-// KnownLambda2 returns the closed-form λ₂ for graphs produced by the
-// constructors in this package, matching on the Name() prefix. ok is false
-// for families without a closed form (random graphs, trees, barbells, …).
-func KnownLambda2(g *G) (lambda2 float64, ok bool) {
+// PathLambdaMax returns the largest Laplacian eigenvalue of the path:
+// 2(1 + cos(π/n)), the k = n−1 entry of the path spectrum.
+func PathLambdaMax(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return 2 * (1 + math.Cos(math.Pi/float64(n)))
+}
+
+// CycleLambdaMax returns the largest Laplacian eigenvalue of the cycle: 4
+// for even n (the alternating eigenvector), 2(1 + cos(π/n)) for odd n.
+func CycleLambdaMax(n int) float64 {
+	if n < 3 {
+		return 0
+	}
+	if n%2 == 0 {
+		return 4
+	}
+	return 2 * (1 + math.Cos(math.Pi/float64(n)))
+}
+
+// CompleteLambdaMax returns the largest Laplacian eigenvalue of K_n: n.
+func CompleteLambdaMax(n int) float64 { return CompleteLambda2(n) }
+
+// StarLambdaMax returns the largest Laplacian eigenvalue of K_{1,n−1}: n
+// (spectrum {0, 1^(n−2), n}).
+func StarLambdaMax(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	return float64(n)
+}
+
+// HypercubeLambdaMax returns the largest Laplacian eigenvalue of the
+// d-dimensional hypercube: 2d.
+func HypercubeLambdaMax(d int) float64 {
+	if d < 1 {
+		return 0
+	}
+	return float64(2 * d)
+}
+
+// TorusLambdaMax returns the largest Laplacian eigenvalue of the rows×cols
+// torus: the Cartesian-product sumset peaks at the sum of the two cycle
+// maxima.
+func TorusLambdaMax(rows, cols int) float64 {
+	return CycleLambdaMax(rows) + CycleLambdaMax(cols)
+}
+
+// GridLambdaMax returns the largest Laplacian eigenvalue of the rows×cols
+// mesh: the sum of the two path maxima.
+func GridLambdaMax(rows, cols int) float64 {
+	return PathLambdaMax(rows) + PathLambdaMax(cols)
+}
+
+// CompleteBipartiteLambdaMax returns the largest Laplacian eigenvalue of
+// K_{a,b}: a+b.
+func CompleteBipartiteLambdaMax(a, b int) float64 {
+	if a < 1 || b < 1 {
+		return 0
+	}
+	return float64(a + b)
+}
+
+// PetersenLambdaMax returns the largest Laplacian eigenvalue of the Petersen
+// graph: 5 (spectrum {0, 2⁵, 5⁴}).
+func PetersenLambdaMax() float64 { return 5 }
+
+// family identifies one closed-form topology family instance parsed from a
+// graph's name and verified against its actual node and edge counts.
+type family struct {
+	kind string // "path", "cycle", "complete", "star", "hypercube", "torus", "grid", "K", "petersen"
+	a, b int
+}
+
+// knownFamily parses g's name against the constructor naming scheme and
+// cross-checks the node and edge counts the named family implies. The
+// structural check is what makes name-based dispatch safe: a churned
+// subgraph, or any hand-built graph wearing a registry name, has a
+// different edge count and falls through to the numeric solvers.
+func knownFamily(g *G) (family, bool) {
 	var a, b int
+	var f family
+	var wantN, wantM int
 	switch {
-	case scan1(g.Name(), "path(%d)", &a):
-		return PathLambda2(a), true
-	case scan1(g.Name(), "cycle(%d)", &a):
-		return CycleLambda2(a), true
-	case scan1(g.Name(), "complete(%d)", &a):
-		return CompleteLambda2(a), true
-	case scan1(g.Name(), "star(%d)", &a):
-		return StarLambda2(a), true
-	case scan1(g.Name(), "hypercube(%d)", &a):
-		return HypercubeLambda2(a), true
-	case scan2(g.Name(), "torus(%dx%d)", &a, &b):
-		return TorusLambda2(a, b), true
-	case scan2(g.Name(), "grid(%dx%d)", &a, &b):
-		return GridLambda2(a, b), true
-	case scan2(g.Name(), "K(%d,%d)", &a, &b):
-		return CompleteBipartiteLambda2(a, b), true
+	case scan1(g.Name(), "path(%d)", &a) && a >= 1:
+		f, wantN, wantM = family{kind: "path", a: a}, a, a-1
+	case scan1(g.Name(), "cycle(%d)", &a) && a >= 3:
+		f, wantN, wantM = family{kind: "cycle", a: a}, a, a
+	case scan1(g.Name(), "complete(%d)", &a) && a >= 1:
+		f, wantN, wantM = family{kind: "complete", a: a}, a, a*(a-1)/2
+	case scan1(g.Name(), "star(%d)", &a) && a >= 1:
+		f, wantN, wantM = family{kind: "star", a: a}, a, a-1
+	case scan1(g.Name(), "hypercube(%d)", &a) && a >= 0 && a <= 30:
+		f, wantN, wantM = family{kind: "hypercube", a: a}, 1<<uint(a), a*(1<<uint(a))/2
+	case scan2(g.Name(), "torus(%dx%d)", &a, &b) && a >= 3 && b >= 3:
+		f, wantN, wantM = family{kind: "torus", a: a, b: b}, a*b, 2*a*b
+	case scan2(g.Name(), "grid(%dx%d)", &a, &b) && a >= 1 && b >= 1:
+		f, wantN, wantM = family{kind: "grid", a: a, b: b}, a*b, a*(b-1)+b*(a-1)
+	case scan2(g.Name(), "K(%d,%d)", &a, &b) && a >= 1 && b >= 1:
+		f, wantN, wantM = family{kind: "K", a: a, b: b}, a+b, a*b
 	case g.Name() == "petersen":
+		f, wantN, wantM = family{kind: "petersen"}, 10, 15
+	default:
+		return family{}, false
+	}
+	if g.N() != wantN || g.M() != wantM {
+		return family{}, false
+	}
+	return f, true
+}
+
+// KnownLambda2 returns the closed-form λ₂ for graphs produced by the
+// constructors in this package, matching on Name() and verifying the node
+// and edge counts. ok is false for families without a closed form (random
+// graphs, trees, barbells, …) and for graphs whose structure does not match
+// their name.
+func KnownLambda2(g *G) (lambda2 float64, ok bool) {
+	f, ok := knownFamily(g)
+	if !ok {
+		return 0, false
+	}
+	switch f.kind {
+	case "path":
+		return PathLambda2(f.a), true
+	case "cycle":
+		return CycleLambda2(f.a), true
+	case "complete":
+		return CompleteLambda2(f.a), true
+	case "star":
+		return StarLambda2(f.a), true
+	case "hypercube":
+		return HypercubeLambda2(f.a), true
+	case "torus":
+		return TorusLambda2(f.a, f.b), true
+	case "grid":
+		return GridLambda2(f.a, f.b), true
+	case "K":
+		return CompleteBipartiteLambda2(f.a, f.b), true
+	case "petersen":
 		return PetersenLambda2(), true
+	}
+	return 0, false
+}
+
+// KnownLambdaMax returns the closed-form largest Laplacian eigenvalue for
+// the same families KnownLambda2 covers. Together the two let the spectral
+// layer evaluate γ of the uniform diffusion matrix M = I − L/(δ+1) without
+// any decomposition: γ = max(|1 − αλ₂|, |1 − αλ_max|).
+func KnownLambdaMax(g *G) (lambdaMax float64, ok bool) {
+	f, ok := knownFamily(g)
+	if !ok {
+		return 0, false
+	}
+	switch f.kind {
+	case "path":
+		return PathLambdaMax(f.a), true
+	case "cycle":
+		return CycleLambdaMax(f.a), true
+	case "complete":
+		return CompleteLambdaMax(f.a), true
+	case "star":
+		return StarLambdaMax(f.a), true
+	case "hypercube":
+		return HypercubeLambdaMax(f.a), true
+	case "torus":
+		return TorusLambdaMax(f.a, f.b), true
+	case "grid":
+		return GridLambdaMax(f.a, f.b), true
+	case "K":
+		return CompleteBipartiteLambdaMax(f.a, f.b), true
+	case "petersen":
+		return PetersenLambdaMax(), true
+	}
+	return 0, false
+}
+
+// KnownPaperEdgeScale returns c when the paper's diffusion matrix of g is
+// exactly M_P = I − c·L — that is, when 1/(4·max(dᵢ,dⱼ)) takes the same
+// value c on every edge. That holds for every regular family and for the
+// irregular families whose edges all see the same maximum endpoint degree
+// (path, star, complete bipartite); it fails for the mesh, whose corner,
+// border and interior edges mix scales. With λ₂ and λ_max known, γ_P =
+// max(|1 − cλ₂|, |1 − cλ_max|) in closed form.
+func KnownPaperEdgeScale(g *G) (c float64, ok bool) {
+	f, ok := knownFamily(g)
+	if !ok || g.M() == 0 {
+		return 0, false
+	}
+	switch f.kind {
+	case "path":
+		if f.a == 2 {
+			return 1.0 / 4, true
+		}
+		return 1.0 / 8, true
+	case "cycle":
+		return 1.0 / 8, true
+	case "complete":
+		return 1 / (4 * float64(f.a-1)), true
+	case "star":
+		return 1 / (4 * float64(f.a-1)), true
+	case "hypercube":
+		return 1 / (4 * float64(f.a)), true
+	case "torus":
+		return 1.0 / 16, true
+	case "K":
+		m := f.a
+		if f.b > m {
+			m = f.b
+		}
+		return 1 / (4 * float64(m)), true
+	case "petersen":
+		return 1.0 / 12, true
 	}
 	return 0, false
 }

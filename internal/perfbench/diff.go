@@ -37,11 +37,25 @@ type DiffResult struct {
 	// coverage fails the gate exactly like a slowdown, otherwise deleting
 	// a slow benchmark would "fix" it.
 	Missing []string `json:"missing,omitempty"`
+	// Warnings flag comparisons whose meaning is degraded without being
+	// wrong — most importantly a baseline recorded on a machine with a
+	// different core count, where every parallel measurement mixes machine
+	// shape into the ratio the calibration anchor cannot divide out.
+	// Warnings do not fail the gate, but Render prints them loudly.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // OK reports whether the current report holds the trajectory: no
 // regressions and no missing coverage.
 func (d *DiffResult) OK() bool { return len(d.Regressions) == 0 && len(d.Missing) == 0 }
+
+// spectralGateFloorNs is the baseline λ₂ time below which the ratio gate is
+// skipped: closed-form solves finish in microseconds, where scheduler noise
+// would dwarf any real change. The solver-path comparison still applies —
+// falling off the closed-form path flips Path and raises a warning (and the
+// new, slow timing enters the next committed baseline, where the ratio gate
+// takes over).
+const spectralGateFloorNs = 1_000_000
 
 // Compare gates cur against the committed baseline: every baseline
 // measurement must exist in cur and its calibration-normalized cost must
@@ -56,6 +70,16 @@ func Compare(base, cur *Report, maxRegress float64) (*DiffResult, error) {
 			base.CalibrationNs, cur.CalibrationNs)
 	}
 	d := &DiffResult{Scale: cur.CalibrationNs / base.CalibrationNs}
+	if base.NumCPU != 0 && cur.NumCPU != 0 && base.NumCPU != cur.NumCPU {
+		d.Warnings = append(d.Warnings, fmt.Sprintf(
+			"baseline ran on %d CPUs, current on %d — parallel measurements (rw>1, sweeps) compare machine shape, not code; re-baseline on matching hardware before trusting those ratios",
+			base.NumCPU, cur.NumCPU))
+	}
+	if base.GOMAXPROCS != 0 && cur.GOMAXPROCS != 0 && base.GOMAXPROCS != cur.GOMAXPROCS {
+		d.Warnings = append(d.Warnings, fmt.Sprintf(
+			"baseline GOMAXPROCS=%d, current GOMAXPROCS=%d — goroutine fan-out differs between the two reports",
+			base.GOMAXPROCS, cur.GOMAXPROCS))
+	}
 
 	curRounds := make(map[string]RoundResult, len(cur.Rounds))
 	for _, r := range cur.Rounds {
@@ -64,6 +88,10 @@ func Compare(base, cur *Report, maxRegress float64) (*DiffResult, error) {
 	curSweeps := make(map[string]SweepResult, len(cur.Sweeps))
 	for _, s := range cur.Sweeps {
 		curSweeps[s.Key()] = s
+	}
+	curSpectra := make(map[string]SpectralResult, len(cur.Spectra))
+	for _, s := range cur.Spectra {
+		curSpectra[s.Key()] = s
 	}
 
 	for _, b := range base.Rounds {
@@ -81,6 +109,30 @@ func Compare(base, cur *Report, maxRegress float64) (*DiffResult, error) {
 			Old:   b.NsPerRound,
 			New:   c.NsPerRound,
 			Ratio: c.NsPerRound / (b.NsPerRound * d.Scale),
+		})
+	}
+	for _, b := range base.Spectra {
+		c, ok := curSpectra[b.Key()]
+		if !ok {
+			d.Missing = append(d.Missing, b.Key())
+			continue
+		}
+		if c.Path != b.Path {
+			d.Warnings = append(d.Warnings, fmt.Sprintf(
+				"%s solved via %s, baseline used %s — the spectral dispatch changed paths", b.Key(), c.Path, b.Path))
+		}
+		if b.ElapsedNs < spectralGateFloorNs {
+			// A closed-form solve finishes in microseconds; timing noise at
+			// that scale would make the ratio gate flaky, and the real
+			// protection is the path check above. Record nothing further.
+			continue
+		}
+		d.Deltas = append(d.Deltas, Delta{
+			Key:   b.Key(),
+			Kind:  "lambda2_ns",
+			Old:   float64(b.ElapsedNs),
+			New:   float64(c.ElapsedNs),
+			Ratio: float64(c.ElapsedNs) / (float64(b.ElapsedNs) * d.Scale),
 		})
 	}
 	for _, b := range base.Sweeps {
@@ -115,6 +167,9 @@ func Compare(base, cur *Report, maxRegress float64) (*DiffResult, error) {
 // Render writes the human-readable diff summary.
 func (d *DiffResult) Render(w io.Writer, maxRegress float64) {
 	fmt.Fprintf(w, "machine scale: %.3f× the baseline machine (calibration-normalized)\n", d.Scale)
+	for _, warn := range d.Warnings {
+		fmt.Fprintf(w, "⚠ WARNING: %s\n", warn)
+	}
 	for _, delta := range d.Deltas {
 		mark := "  "
 		if delta.Ratio > 1+maxRegress {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/spectral"
 	"repro/internal/topoparse"
 	"repro/internal/workload"
 )
@@ -57,6 +58,13 @@ type Config struct {
 	// Sizes are the node counts of the ns/round-vs-n curve (default 1024,
 	// 4096, 16384; rigid families round up as topoparse does).
 	Sizes []int
+	// LargeSizes extends the curve into the million-node regime: for each
+	// topology × large size the harness measures one serial continuous
+	// diffusion row (a handful of rounds — see largeRoundsFor) plus a timed
+	// λ₂ solve, recording which solver path (closed-form, Lanczos, …) the
+	// spectral layer picked. Empty = no large-n rows; the committed baseline
+	// uses {1<<17, 1<<20} via cmd/perfbench's -large-sizes default.
+	LargeSizes []int
 	// RoundWorkersList are the round-level worker counts each
 	// configuration is measured at (default 1, 8).
 	RoundWorkersList []int
@@ -123,6 +131,21 @@ func (c Config) roundsFor(n int) int {
 	return r
 }
 
+// largeRoundsFor pins the timed round count for the large-n rows. The
+// regular 64-round floor would cost minutes at n = 2²⁰, so the large rows
+// clamp to [8, 64]: still a pinned, machine-independent function of n, just
+// sized for graphs where a single round touches millions of nodes.
+func (c Config) largeRoundsFor(n int) int {
+	r := c.RoundsBudget / n
+	if r < 8 {
+		r = 8
+	}
+	if r > 64 {
+		r = 64
+	}
+	return r
+}
+
 // RoundResult is one point of the ns/round-vs-n curve.
 type RoundResult struct {
 	Topology     string  `json:"topology"`
@@ -140,6 +163,26 @@ type RoundResult struct {
 // Key identifies the measurement across reports.
 func (r RoundResult) Key() string {
 	return fmt.Sprintf("%s/%s/%s/n%d/rw%d", r.Topology, r.Algorithm, r.Mode, r.N, r.RoundWorkers)
+}
+
+// SpectralResult is one timed λ₂ solve from the large-n rows: how long the
+// spectral layer took for the topology at size n and which solver path it
+// used — "closed-form" for recognized structured families (microseconds),
+// "lanczos" for the implicit CSR solver, "dense" or "inverse-power"
+// otherwise. The committed baseline pins the expected path; a future change
+// that silently falls off the closed-form or Lanczos path shows up here as
+// a thousand-fold ElapsedNs regression rather than a quiet CI slowdown.
+type SpectralResult struct {
+	Topology  string  `json:"topology"`
+	N         int     `json:"n"`
+	Lambda2   float64 `json:"lambda2"`
+	ElapsedNs int64   `json:"elapsed_ns"`
+	Path      string  `json:"path"`
+}
+
+// Key identifies the spectral entry across reports.
+func (s SpectralResult) Key() string {
+	return fmt.Sprintf("lambda2:%s/n%d", s.Topology, s.N)
 }
 
 // SweepResult is the throughput of one pinned reference sweep.
@@ -168,9 +211,10 @@ type Report struct {
 	// CalibrationNs is the serial ns/round of the fixed reference workload
 	// (continuous diffusion, 1024-node torus) — the machine-speed anchor
 	// Compare normalizes both reports by.
-	CalibrationNs float64       `json:"calibration_ns_per_round"`
-	Rounds        []RoundResult `json:"rounds"`
-	Sweeps        []SweepResult `json:"sweeps,omitempty"`
+	CalibrationNs float64          `json:"calibration_ns_per_round"`
+	Rounds        []RoundResult    `json:"rounds"`
+	Spectra       []SpectralResult `json:"spectra,omitempty"`
+	Sweeps        []SweepResult    `json:"sweeps,omitempty"`
 }
 
 // Run executes the configured measurements and assembles the report.
@@ -241,6 +285,19 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
+	for _, topo := range cfg.Topologies {
+		for _, size := range cfg.LargeSizes {
+			round, spec, err := measureLarge(cfg, topo, size)
+			if err != nil {
+				return nil, err
+			}
+			rep.Rounds = append(rep.Rounds, round)
+			cfg.logf("%-48s %12.0f ns/round  (%d rounds)", round.Key(), round.NsPerRound, round.RoundsTimed)
+			rep.Spectra = append(rep.Spectra, spec)
+			cfg.logf("%-48s %12d ns  (λ₂=%.6g, path=%s)", spec.Key(), spec.ElapsedNs, spec.Lambda2, spec.Path)
+		}
+	}
+
 	if !cfg.SkipSweeps {
 		sweeps, err := runSweeps(cfg)
 		if err != nil {
@@ -249,6 +306,146 @@ func Run(cfg Config) (*Report, error) {
 		rep.Sweeps = sweeps
 	}
 	return rep, nil
+}
+
+// measureLarge runs one large-n row: a serial continuous diffusion
+// measurement (the CSR hot loop under test, at the worker count the
+// byte-identity contract anchors) and a timed λ₂ solve with the solver path
+// recorded from the spectral layer's solve counters. The graph is built
+// once and shared by both measurements — at n = 2²⁰ the build itself costs
+// seconds and hundreds of MB, so it must stay outside the clock.
+func measureLarge(cfg Config, topo string, size int) (RoundResult, SpectralResult, error) {
+	g, err := topoparse.Build(topo, size, cfg.Seed)
+	if err != nil {
+		return RoundResult{}, SpectralResult{}, fmt.Errorf("perfbench: %w", err)
+	}
+	loads := workload.Continuous(workload.Spike, g.N(), cfg.Scale*float64(g.N()), nil)
+	rounds := cfg.largeRoundsFor(g.N())
+	ns, sum, err := measure(cfg, g, core.Diffusion, core.Continuous, loads, 1, rounds)
+	if err != nil {
+		return RoundResult{}, SpectralResult{}, err
+	}
+	round := RoundResult{
+		Topology:     topo,
+		Algorithm:    "diffusion",
+		Mode:         "continuous",
+		N:            g.N(),
+		RoundWorkers: 1,
+		RoundsTimed:  rounds,
+		NsPerRound:   ns,
+		Checksum:     sum,
+	}
+
+	before := spectral.SolveStats()
+	start := time.Now()
+	l2, err := spectral.Lambda2(g)
+	elapsed := time.Since(start)
+	if err != nil {
+		return RoundResult{}, SpectralResult{}, fmt.Errorf("perfbench: λ₂(%s, n=%d): %w", topo, g.N(), err)
+	}
+	spec := SpectralResult{
+		Topology:  topo,
+		N:         g.N(),
+		Lambda2:   l2,
+		ElapsedNs: elapsed.Nanoseconds(),
+		Path:      solvePath(before, spectral.SolveStats()),
+	}
+	return round, spec, nil
+}
+
+// solvePath names the solver the spectral layer used between two counter
+// snapshots. A single Lambda2 call bumps exactly one counter; if several
+// moved (another goroutine raced a solve in), the slowest path wins so the
+// report never under-states the cost.
+func solvePath(before, after spectral.SolveCounts) string {
+	switch {
+	case after.Dense > before.Dense:
+		return "dense"
+	case after.InversePower > before.InversePower:
+		return "inverse-power"
+	case after.Lanczos > before.Lanczos:
+		return "lanczos"
+	case after.ClosedForm > before.ClosedForm:
+		return "closed-form"
+	default:
+		return "unknown"
+	}
+}
+
+// SmokeResult is what LargeNSmoke measured, for logging and the CI gate.
+type SmokeResult struct {
+	DiffusionN       int
+	DiffusionRounds  int
+	DiffusionNs      float64 // ns/round
+	Lambda2Topology  string
+	Lambda2N         int
+	Lambda2          float64
+	Lambda2Ns        int64
+	Lambda2Path      string
+	Elapsed          time.Duration
+	DenseSolvesDelta uint64
+}
+
+// LargeNSmoke is the CI large-n gate: it steps a million-node hypercube
+// diffusion cell for a few rounds (the CSR hot loop at the scale the PR 7
+// work targets) and solves λ₂ of the million-node de Bruijn graph — a
+// topology with no closed form, so the solve must take the implicit Lanczos
+// path. It fails if the dense eigensolver ran at all (materializing an n×n
+// matrix at n = 2²⁰ would be an 8 TB allocation — the counter check catches
+// a dispatch regression long before an OOM would), if the λ₂ solve fell off
+// the Lanczos path, or if the whole check exceeded the wall-clock budget.
+func LargeNSmoke(budget time.Duration, logw io.Writer) (*SmokeResult, error) {
+	const smokeN = 1 << 20
+	cfg := Config{Samples: 1, Log: logw}.withDefaults()
+	start := time.Now()
+	before := spectral.SolveStats()
+
+	g, err := topoparse.Build("hypercube", smokeN, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: smoke: %w", err)
+	}
+	loads := workload.Continuous(workload.Spike, g.N(), cfg.Scale*float64(g.N()), nil)
+	rounds := cfg.largeRoundsFor(g.N())
+	ns, _, err := measure(cfg, g, core.Diffusion, core.Continuous, loads, 1, rounds)
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: smoke: %w", err)
+	}
+	res := &SmokeResult{DiffusionN: g.N(), DiffusionRounds: rounds, DiffusionNs: ns}
+	cfg.logf("smoke: hypercube n=%d diffusion: %.0f ns/round (%d rounds)", g.N(), ns, rounds)
+	g = nil // let the ~300 MB hypercube go before the next build
+
+	db, err := topoparse.Build("debruijn", smokeN, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: smoke: %w", err)
+	}
+	mid := spectral.SolveStats()
+	solveStart := time.Now()
+	l2, err := spectral.Lambda2(db)
+	solveElapsed := time.Since(solveStart)
+	if err != nil {
+		return nil, fmt.Errorf("perfbench: smoke: λ₂(debruijn, n=%d): %w", db.N(), err)
+	}
+	after := spectral.SolveStats()
+	res.Lambda2Topology = "debruijn"
+	res.Lambda2N = db.N()
+	res.Lambda2 = l2
+	res.Lambda2Ns = solveElapsed.Nanoseconds()
+	res.Lambda2Path = solvePath(mid, after)
+	res.Elapsed = time.Since(start)
+	res.DenseSolvesDelta = after.Dense - before.Dense
+	cfg.logf("smoke: λ₂(debruijn, n=%d) = %.6g via %s in %v (total %v)",
+		db.N(), l2, res.Lambda2Path, solveElapsed.Round(time.Millisecond), res.Elapsed.Round(time.Millisecond))
+
+	if res.DenseSolvesDelta != 0 {
+		return res, fmt.Errorf("perfbench: smoke: dense eigensolver ran %d time(s) at n=%d — the spectral dispatch must never materialize matrices at this scale", res.DenseSolvesDelta, smokeN)
+	}
+	if res.Lambda2Path != "lanczos" {
+		return res, fmt.Errorf("perfbench: smoke: λ₂ solved via %q, want the implicit lanczos path", res.Lambda2Path)
+	}
+	if budget > 0 && res.Elapsed > budget {
+		return res, fmt.Errorf("perfbench: smoke: took %v, budget %v", res.Elapsed.Round(time.Millisecond), budget)
+	}
+	return res, nil
 }
 
 func (c Config) logf(format string, args ...any) {

@@ -166,3 +166,124 @@ func TestRunSmoke(t *testing.T) {
 		t.Fatalf("report does not match itself: %+v", res)
 	}
 }
+
+// TestCompareWarnsOnCoreCountMismatch: reports from machines of different
+// shape still compare, but loudly — the calibration anchor divides out
+// clock speed, not parallel hardware.
+func TestCompareWarnsOnCoreCountMismatch(t *testing.T) {
+	base := baseReport()
+	base.NumCPU, base.GOMAXPROCS = 8, 8
+	cur := baseReport()
+	cur.NumCPU, cur.GOMAXPROCS = 1, 1
+	res, err := Compare(base, cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("shape mismatch failed the gate: %+v", res)
+	}
+	if len(res.Warnings) != 2 {
+		t.Fatalf("got %d warnings, want NumCPU + GOMAXPROCS: %v", len(res.Warnings), res.Warnings)
+	}
+	var buf strings.Builder
+	res.Render(&buf, 0.25)
+	if !strings.Contains(buf.String(), "WARNING") || !strings.Contains(buf.String(), "8 CPUs") {
+		t.Fatalf("warnings not rendered: %q", buf.String())
+	}
+
+	// Matching shapes — or legacy reports that never recorded them — stay
+	// silent.
+	if res, err = Compare(baseReport(), baseReport(), 0.25); err != nil || len(res.Warnings) != 0 {
+		t.Fatalf("spurious warnings: %v (err %v)", res.Warnings, err)
+	}
+}
+
+// TestCompareGatesSpectra: a missing λ₂ row fails like any shrunk coverage,
+// a slow-but-present row beyond the noise floor is a regression, and a
+// solver-path change warns even when the timing happens to pass.
+func TestCompareGatesSpectra(t *testing.T) {
+	withSpectra := func() *Report {
+		r := baseReport()
+		r.Spectra = []SpectralResult{
+			{Topology: "hypercube", N: 1 << 20, Lambda2: 2, ElapsedNs: 2500, Path: "closed-form"},
+			{Topology: "debruijn", N: 1 << 20, Lambda2: 0.17, ElapsedNs: 9e9, Path: "lanczos"},
+		}
+		return r
+	}
+
+	cur := withSpectra()
+	cur.Spectra = cur.Spectra[:1]
+	res, err := Compare(withSpectra(), cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() || len(res.Missing) != 1 || res.Missing[0] != "lambda2:debruijn/n1048576" {
+		t.Fatalf("missing λ₂ row not flagged: %+v", res)
+	}
+
+	cur = withSpectra()
+	cur.Spectra[1].ElapsedNs *= 3
+	if res, err = Compare(withSpectra(), cur, 0.25); err != nil || res.OK() || len(res.Regressions) != 1 || res.Regressions[0].Kind != "lambda2_ns" {
+		t.Fatalf("3× slower Lanczos solve not flagged: %+v (err %v)", res, err)
+	}
+
+	// Sub-floor rows (the closed-form microsecond solves) never enter the
+	// ratio gate: a 100× "slowdown" at that scale is timer noise.
+	cur = withSpectra()
+	cur.Spectra[0].ElapsedNs *= 100
+	if res, err = Compare(withSpectra(), cur, 0.25); err != nil || !res.OK() {
+		t.Fatalf("noise-floor λ₂ timing gated: %+v (err %v)", res, err)
+	}
+
+	// Falling off the fast path flips Path and warns.
+	cur = withSpectra()
+	cur.Spectra[0].Path = "dense"
+	res, err = Compare(withSpectra(), cur, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "dense") {
+		t.Fatalf("path change not warned: %v", res.Warnings)
+	}
+}
+
+// TestRunLargeSizes drives the large-n surface at toy scale: each topology
+// × large size contributes one serial diffusion row plus one λ₂ solve with
+// a recorded path — closed-form for the torus, and never dense-free-floating
+// "unknown".
+func TestRunLargeSizes(t *testing.T) {
+	rep, err := Run(Config{
+		Topologies:       []string{"torus"},
+		Algorithms:       []string{"diffusion"},
+		Modes:            []string{"continuous"},
+		Sizes:            []int{64},
+		LargeSizes:       []int{256},
+		RoundWorkersList: []int{1},
+		RoundsBudget:     1,
+		Samples:          1,
+		SkipSweeps:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("got %d round rows, want regular + large: %+v", len(rep.Rounds), rep.Rounds)
+	}
+	large := rep.Rounds[1]
+	if large.N != 256 || large.RoundWorkers != 1 || large.RoundsTimed != 8 || large.NsPerRound <= 0 {
+		t.Fatalf("bad large row %+v", large)
+	}
+	if len(rep.Spectra) != 1 {
+		t.Fatalf("got %d spectra, want 1: %+v", len(rep.Spectra), rep.Spectra)
+	}
+	spec := rep.Spectra[0]
+	if spec.Key() != "lambda2:torus/n256" || spec.Lambda2 <= 0 || spec.ElapsedNs <= 0 {
+		t.Fatalf("bad spectral row %+v", spec)
+	}
+	if spec.Path != "closed-form" {
+		t.Fatalf("torus λ₂ took the %q path, want closed-form", spec.Path)
+	}
+	if res, err := Compare(rep, rep, 0.25); err != nil || !res.OK() {
+		t.Fatalf("large-n report does not match itself: %+v (err %v)", res, err)
+	}
+}

@@ -35,7 +35,15 @@ type Link struct {
 // "choose from all other nodes" reading with negligible distributional
 // difference for large n — a self-link would transfer nothing anyway).
 func RoundLinks(n int, rng *rand.Rand) []Link {
-	links := make([]Link, 0, n)
+	return appendRoundLinks(nil, n, rng)
+}
+
+// appendRoundLinks is RoundLinks into a reusable buffer. The rng.Intn draw
+// sequence is identical regardless of the buffer, so stepper rounds that
+// recycle their link scratch replay the exact trajectories of the
+// allocate-per-round form.
+func appendRoundLinks(links []Link, n int, rng *rand.Rand) []Link {
+	links = links[:0]
 	for i := 0; i < n; i++ {
 		j := rng.Intn(n)
 		if j == i {
@@ -49,7 +57,18 @@ func RoundLinks(n int, rng *rand.Rand) []Link {
 // Degrees returns d(i) — the number of links incident to node i — for the
 // given link multiset.
 func Degrees(n int, links []Link) []int {
-	d := make([]int, n)
+	return fillDegrees(nil, n, links)
+}
+
+// fillDegrees is Degrees into a reusable buffer.
+func fillDegrees(d []int, n int, links []Link) []int {
+	if cap(d) < n {
+		d = make([]int, n)
+	}
+	d = d[:n]
+	for i := range d {
+		d[i] = 0
+	}
 	for _, l := range links {
 		d[l.From]++
 		d[l.To]++
@@ -85,7 +104,8 @@ type Continuous struct {
 	LastLinks   []Link
 	LastDegrees []int
 
-	inc incidence
+	inc   incidence
+	start []float64
 }
 
 // incidence is the reusable CSR scratch of a round's link multiset: for
@@ -165,10 +185,19 @@ func NewContinuous(initial []float64, rng *rand.Rand) *Continuous {
 // from the round-start loads concurrently.
 func (c *Continuous) Step() {
 	n := c.Load.N()
-	links := RoundLinks(n, c.RNG)
-	deg := Degrees(n, links)
+	// Round scratch (links, degrees, the round-start snapshot) is recycled
+	// across rounds; at n = 2²⁰ the per-round garbage would otherwise
+	// dominate the actual balancing arithmetic.
+	c.LastLinks = appendRoundLinks(c.LastLinks, n, c.RNG)
+	links := c.LastLinks
+	c.LastDegrees = fillDegrees(c.LastDegrees, n, links)
+	deg := c.LastDegrees
 	v := c.Load.Vector()
-	start := v.Clone()
+	if cap(c.start) < n {
+		c.start = make([]float64, n)
+	}
+	start := c.start[:n]
+	copy(start, v)
 	workers := parallel.StepperWorkers(c.Workers)
 	if workers == 1 {
 		for _, lk := range links {
@@ -193,7 +222,6 @@ func (c *Continuous) Step() {
 				v[i] += w
 			}
 		}
-		c.LastLinks, c.LastDegrees = links, deg
 		return
 	}
 	c.inc.build(n, links, start, deg, func(i, j, d int) float64 {
@@ -207,7 +235,6 @@ func (c *Continuous) Step() {
 		}
 		v[i] = acc
 	})
-	c.LastLinks, c.LastDegrees = links, deg
 }
 
 // Potential returns Φ of the current distribution.
@@ -227,7 +254,8 @@ type Discrete struct {
 	LastLinks   []Link
 	LastDegrees []int
 
-	inc incidence64
+	inc   incidence64
+	start []int64
 }
 
 // incidence64 is incidence for token transfers (zero-token links become 0
@@ -295,10 +323,15 @@ func NewDiscrete(initial []int64, rng *rand.Rand) *Discrete {
 // Step performs one round with ⌊(ℓᵢ−ℓⱼ)/(4·max(dᵢ,dⱼ))⌋-token transfers.
 func (d *Discrete) Step() {
 	n := d.Load.N()
-	links := RoundLinks(n, d.RNG)
-	deg := Degrees(n, links)
+	d.LastLinks = appendRoundLinks(d.LastLinks, n, d.RNG)
+	links := d.LastLinks
+	d.LastDegrees = fillDegrees(d.LastDegrees, n, links)
+	deg := d.LastDegrees
 	v := d.Load.Tokens()
-	start := make([]int64, n)
+	if cap(d.start) < n {
+		d.start = make([]int64, n)
+	}
+	start := d.start[:n]
 	copy(start, v)
 	workers := parallel.StepperWorkers(d.Workers)
 	if workers == 1 {
@@ -331,7 +364,6 @@ func (d *Discrete) Step() {
 				v[i] += t
 			}
 		}
-		d.LastLinks, d.LastDegrees = links, deg
 		return
 	}
 	d.inc.build(n, links, start, deg)
@@ -343,7 +375,6 @@ func (d *Discrete) Step() {
 		}
 		v[i] = acc
 	})
-	d.LastLinks, d.LastDegrees = links, deg
 }
 
 // Potential returns Φ of the current distribution.

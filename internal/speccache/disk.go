@@ -84,6 +84,8 @@ func (q quantity) diskKey() string {
 		return "gamma"
 	case qPaperGamma:
 		return "gamma_paper"
+	case qPaperGap:
+		return "paper_gap"
 	}
 	return ""
 }

@@ -63,6 +63,46 @@ func TestDiskSpillSharesAcrossCaches(t *testing.T) {
 	}
 }
 
+// TestDiskSpillPaperEigenGapRoundTrips: µ_P = 1 − γ_P is a first-class
+// spilled quantity (it used to fall outside diskKey's switch and silently
+// never hit disk) — a second cache on the same directory must load it
+// bit-exactly without recomputing either it or the γ_P it derives from.
+func TestDiskSpillPaperEigenGapRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Torus(6, 6)
+
+	c1 := speccache.New()
+	if err := c1.SetDiskDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c1.PaperEigenGap(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c1.Stats().PaperGap; s.Computes != 1 {
+		t.Fatalf("first process µ_P stats %+v, want 1 compute", s)
+	}
+
+	c2 := speccache.New()
+	if err := c2.SetDiskDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.PaperEigenGap(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("disk-loaded µ_P %v differs from computed %v", got, want)
+	}
+	if s := c2.Stats().PaperGap; s.Computes != 0 || s.DiskHits != 1 {
+		t.Fatalf("second process µ_P stats %+v, want a pure disk hit", s)
+	}
+	// The derived gap must load without dragging γ_P through a recompute.
+	if s := c2.Stats().PaperGamma; s.Computes != 0 {
+		t.Fatalf("µ_P disk hit still recomputed γ_P: %+v", s)
+	}
+}
+
 // TestDiskSpillCorruptEntryRecomputes: torn or garbage spill files must
 // degrade to a recompute, never to an error or a wrong value.
 func TestDiskSpillCorruptEntryRecomputes(t *testing.T) {

@@ -42,6 +42,7 @@ const (
 	qLambda2 quantity = iota
 	qGamma
 	qPaperGamma
+	qPaperGap
 	qFlow
 	numQuantities
 )
@@ -54,6 +55,8 @@ func (q quantity) String() string {
 		return "γ"
 	case qPaperGamma:
 		return "γ_P"
+	case qPaperGap:
+		return "µ_P"
 	case qFlow:
 		return "optflow"
 	}
@@ -164,29 +167,37 @@ func (c *Cache) MustLambda2(g *graph.G) float64 {
 
 // Gamma returns the memoized second-largest eigenvalue magnitude of the
 // uniform diffusion matrix of g — the quantity behind the second-order
-// scheme's optimal β.
+// scheme's optimal β. Computed through spectral.GammaOf, so structured
+// families take the closed form and large graphs the implicit Lanczos path
+// without ever materializing the matrix.
 func (c *Cache) Gamma(g *graph.G) (float64, error) {
 	return c.scalar(qGamma, g, func() (float64, error) {
-		return spectral.Gamma(spectral.DiffusionMatrix(g))
+		return spectral.GammaOf(g)
 	})
 }
 
 // PaperGamma returns the memoized second-largest eigenvalue magnitude of
-// the paper's diffusion matrix (transfer rule 1/(4·max(dᵢ,dⱼ))).
+// the paper's diffusion matrix (transfer rule 1/(4·max(dᵢ,dⱼ))), through
+// spectral.PaperGammaOf's closed-form/dense/Lanczos routing.
 func (c *Cache) PaperGamma(g *graph.G) (float64, error) {
 	return c.scalar(qPaperGamma, g, func() (float64, error) {
-		return spectral.Gamma(spectral.PaperDiffusionMatrix(g))
+		return spectral.PaperGammaOf(g)
 	})
 }
 
-// PaperEigenGap returns µ = 1 − γ_P for the paper's diffusion matrix,
-// derived from the memoized PaperGamma.
+// PaperEigenGap returns µ = 1 − γ_P for the paper's diffusion matrix. It is
+// a first-class cached quantity with its own disk-spill key: deriving it on
+// the fly from PaperGamma would be nearly free in memory, but making it a
+// quantity of its own means a shard process that only ever asks for the gap
+// still shares the value across the fleet through the spill.
 func (c *Cache) PaperEigenGap(g *graph.G) (float64, error) {
-	gp, err := c.PaperGamma(g)
-	if err != nil {
-		return 0, err
-	}
-	return 1 - gp, nil
+	return c.scalar(qPaperGap, g, func() (float64, error) {
+		gp, err := c.PaperGamma(g)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - gp, nil
+	})
 }
 
 // OptimalFlow returns the memoized ℓ₂-minimal balancing flow of load vector
@@ -258,12 +269,17 @@ type QuantityStats struct {
 }
 
 // Stats is a point-in-time snapshot of the cache's effectiveness, one entry
-// per memoized quantity.
+// per memoized quantity, plus the process-wide spectral solve-path counters
+// — which solver (closed form, dense, Lanczos, inverse power) actually ran
+// behind the cache misses. The large-n smoke gate asserts Solves.Dense == 0
+// on million-node runs through this field.
 type Stats struct {
 	Lambda2     QuantityStats
 	Gamma       QuantityStats
 	PaperGamma  QuantityStats
+	PaperGap    QuantityStats
 	OptimalFlow QuantityStats
+	Solves      spectral.SolveCounts
 }
 
 // Stats snapshots the counters.
@@ -276,7 +292,9 @@ func (c *Cache) Stats() Stats {
 		Lambda2:     snap(qLambda2),
 		Gamma:       snap(qGamma),
 		PaperGamma:  snap(qPaperGamma),
+		PaperGap:    snap(qPaperGap),
 		OptimalFlow: snap(qFlow),
+		Solves:      spectral.SolveStats(),
 	}
 }
 
@@ -289,7 +307,10 @@ func (s Stats) String() string {
 		return fmt.Sprintf("%s %d computed/%d hits", name, q.Computes, q.Hits)
 	}
 	return part("λ₂", s.Lambda2) + ", " + part("γ", s.Gamma) + ", " +
-		part("γ_P", s.PaperGamma) + ", " + part("optflow", s.OptimalFlow)
+		part("γ_P", s.PaperGamma) + ", " + part("µ_P", s.PaperGap) + ", " +
+		part("optflow", s.OptimalFlow) + fmt.Sprintf(
+		", solves: %d closed-form/%d dense/%d lanczos/%d invpower",
+		s.Solves.ClosedForm, s.Solves.Dense, s.Solves.Lanczos, s.Solves.InversePower)
 }
 
 // Package-level helpers against the shared cache, so hot call sites read as

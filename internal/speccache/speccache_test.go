@@ -60,7 +60,7 @@ func TestValuesMatchSpectralExactly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := spectral.Gamma(spectral.DiffusionMatrix(g))
+		want, err := spectral.GammaOf(g)
 		if err != nil {
 			t.Fatal(err)
 		}

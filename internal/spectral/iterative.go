@@ -16,9 +16,11 @@ func LaplacianApply(g *graph.G, dst, x matrix.Vector) {
 	if len(dst) != n || len(x) != n {
 		panic("spectral: LaplacianApply dimension mismatch")
 	}
+	off, tgt := g.CSR()
 	for i := 0; i < n; i++ {
-		s := float64(g.Degree(i)) * x[i]
-		for _, j := range g.Neighbors(i) {
+		row := tgt[off[i]:off[i+1]]
+		s := float64(len(row)) * x[i]
+		for _, j := range row {
 			s -= x[j]
 		}
 		dst[i] = s

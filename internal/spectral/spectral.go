@@ -13,10 +13,13 @@ import (
 const denseCutoff = 400
 
 // Lambda2 returns λ₂, the second-smallest eigenvalue of the Laplacian of g
-// (its algebraic connectivity). Small graphs go through the dense
-// Householder+QL solver; large graphs through projected Lanczos. The graph
-// must have at least 2 nodes and be connected (otherwise λ₂ = 0 and the
-// convergence bounds of the paper are vacuous).
+// (its algebraic connectivity). Routing, cheapest first: the closed-form
+// table in internal/graph/spectra.go for recognized topology families, the
+// dense Householder+QL solver below the cutoff, implicit CSR Lanczos above
+// it, and the CG-based inverse-power path when the Lanczos residual gate
+// does not converge (tiny-gap families). The graph must have at least 2
+// nodes and be connected (otherwise λ₂ = 0 and the convergence bounds of
+// the paper are vacuous).
 func Lambda2(g *graph.G) (float64, error) {
 	n := g.N()
 	if n < 2 {
@@ -25,13 +28,23 @@ func Lambda2(g *graph.G) (float64, error) {
 	if !g.IsConnected() {
 		return 0, nil
 	}
+	if l2, ok := graph.KnownLambda2(g); ok {
+		solveClosedForm.Add(1)
+		return l2, nil
+	}
 	if n <= denseCutoff {
+		solveDense.Add(1)
 		vals, err := EigenvaluesSym(g.Laplacian())
 		if err != nil {
 			return 0, err
 		}
 		return vals[1], nil
 	}
+	if l2, _, ok, err := LaplacianExtremal(g, 1); err == nil && ok {
+		solveLanczos.Add(1)
+		return l2, nil
+	}
+	solveInversePower.Add(1)
 	return Lambda2InversePower(g, 1)
 }
 
@@ -131,31 +144,49 @@ type Report struct {
 	Name        string
 	N, M, Delta int
 	Lambda2     float64 // algebraic connectivity
-	LambdaMax   float64 // largest Laplacian eigenvalue (dense path only; NaN otherwise)
-	Gamma       float64 // 2nd-largest |eigenvalue| of the uniform diffusion matrix (dense only; NaN otherwise)
+	LambdaMax   float64 // largest Laplacian eigenvalue
+	Gamma       float64 // 2nd-largest |eigenvalue| of the uniform diffusion matrix (NaN for n < 2)
 	ExpansionLo float64 // Cheeger lower bound λ₂/2
 	ExpansionHi float64 // Cheeger upper bound sqrt(2δλ₂)
-	Exact       bool    // λ₂ from dense solve (true) or Lanczos (false)
+	Exact       bool    // λ₂ from a closed form or dense solve (true) or an iterative path (false)
+	Method      string  // which dispatch path produced λ₂ (see SolveStats)
 }
 
-// Analyze computes a Report for g.
+// Analyze computes a Report for g. All quantities are filled at every size
+// now that λ_max and γ route through the closed-form and implicit-Lanczos
+// paths; Exact records whether λ₂ came from an exact solver and Method
+// names the dispatch path that actually ran.
 func Analyze(g *graph.G) (Report, error) {
 	r := Report{Name: g.Name(), N: g.N(), M: g.M(), Delta: g.MaxDegree()}
+	before := SolveStats()
 	l2, err := Lambda2(g)
 	if err != nil {
 		return r, err
 	}
+	switch after := SolveStats(); {
+	case after.ClosedForm > before.ClosedForm:
+		r.Method = "closed form"
+	case after.Dense > before.Dense:
+		r.Method = "dense Householder+QL"
+	case after.Lanczos > before.Lanczos:
+		r.Method = "implicit Lanczos"
+	case after.InversePower > before.InversePower:
+		r.Method = "inverse-power CG"
+	default:
+		r.Method = "cached"
+	}
 	r.Lambda2 = l2
 	r.ExpansionLo, r.ExpansionHi = graph.ExpansionBounds(g, l2)
+	_, r.Exact = graph.KnownLambda2(g)
+	r.Exact = r.Exact || g.N() <= denseCutoff
 	r.LambdaMax, r.Gamma = math.NaN(), math.NaN()
-	if g.N() <= denseCutoff {
-		r.Exact = true
-		vals, err := LaplacianSpectrum(g)
-		if err != nil {
-			return r, err
-		}
-		r.LambdaMax = vals[len(vals)-1]
-		gm, err := Gamma(DiffusionMatrix(g))
+	lm, err := LambdaMaxOf(g)
+	if err != nil {
+		return r, err
+	}
+	r.LambdaMax = lm
+	if g.N() >= 2 {
+		gm, err := GammaOf(g)
 		if err != nil {
 			return r, err
 		}
