@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate large-n-smoke round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate large-n-smoke round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -165,8 +165,40 @@ scenario-smoke:
 	/tmp/lbbench $(SCENARIO_ARGS) -parallel 4 -merge /tmp/lbbench-ssweep/shard-0.jsonl,/tmp/lbbench-ssweep/shard-1.jsonl,/tmp/lbbench-ssweep/shard-2.jsonl -stream-agg > /tmp/lbbench-scen-mergedagg.csv
 	cmp /tmp/lbbench-scen-fullagg.csv /tmp/lbbench-scen-mergedagg.csv
 
+# Service mode end to end, mirroring CI's serve-smoke: lbserved replays the
+# committed mini-trace at 100×, records what it injects, drains to exit 0 on
+# SIGTERM; the recording must byte-match the source trace and re-run as a
+# trace:<file> grid scenario byte-identically across worker counts.
+serve-smoke:
+	$(GO) build -o /tmp/lbserved ./cmd/lbserved
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	rm -f /tmp/lbserved-recorded.jsonl
+	/tmp/lbserved -addr 127.0.0.1:18080 -replay testdata/mini-trace.jsonl \
+		-speedup 100x -record /tmp/lbserved-recorded.jsonl 2> /tmp/lbserved.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -fs http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	for i in $$(seq 1 600); do \
+		pending=$$(curl -fs http://127.0.0.1:18080/metrics | sed 's/.*"replay_pending"://;s/,.*//'); \
+		[ "$$pending" = "0" ] && break; \
+		sleep 0.1; \
+	done; \
+	kill -TERM $$pid; wait $$pid
+	cmp testdata/mini-trace.jsonl /tmp/lbserved-recorded.jsonl
+	/tmp/lbbench -grid -topos torus -algos diffusion,randpair \
+		-modes continuous,discrete -loads spike \
+		-scenarios static,trace:/tmp/lbserved-recorded.jsonl \
+		-n 64 -seeds 1,2 -rounds 96 -format csv -parallel 1 > /tmp/lbserved-w1.csv
+	/tmp/lbbench -grid -topos torus -algos diffusion,randpair \
+		-modes continuous,discrete -loads spike \
+		-scenarios static,trace:/tmp/lbserved-recorded.jsonl \
+		-n 64 -seeds 1,2 -rounds 96 -format csv -parallel 8 > /tmp/lbserved-w8.csv
+	cmp /tmp/lbserved-w1.csv /tmp/lbserved-w8.csv
+
 # bench-gate is not part of `make ci`: the trajectory measurement needs a
 # quiet machine to be meaningful (CI's bench-trajectory job runs it on the
 # dedicated runner). Run `make bench-gate` before committing perf-sensitive
 # changes.
-ci: build vet fmt-check staticcheck test bench round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke
+ci: build vet fmt-check staticcheck test bench round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke serve-smoke

@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -89,7 +90,7 @@ func benchGrid(b *testing.B, workers int) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := core.BalanceGrid(spec)
+		rep, err := core.GridRun(context.Background(), spec)
 		if err != nil {
 			b.Fatal(err)
 		}

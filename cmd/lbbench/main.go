@@ -112,11 +112,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/batch"
@@ -124,6 +122,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/orchestrator"
 	"repro/internal/scenario"
+	"repro/internal/signals"
 	"repro/internal/speccache"
 	"repro/internal/topoparse"
 	"repro/internal/workload"
@@ -312,12 +311,8 @@ func runSpawn(f gridFlags, m int, emitMatrix string, retries int) int {
 		fmt.Fprintf(os.Stderr, "lbbench: cannot locate own binary to spawn shards: %v\n", err)
 		return exitUsage
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signals.Graceful(context.Background())
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
 	sup := &orchestrator.Supervisor{
 		Plan:       plan,
 		Command:    []string{self},
@@ -584,12 +579,8 @@ func runGrid(f gridFlags) int {
 	// first signal consumes the graceful path — once it fires, default
 	// disposition is restored so a second Ctrl-C terminates immediately
 	// instead of being swallowed while the sweep drains.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signals.Graceful(context.Background())
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
 
 	if f.streamAgg {
 		return runGridStream(ctx, spec, journal, js, f)
@@ -599,7 +590,7 @@ func runGrid(f gridFlags) int {
 	if js != nil {
 		sink = js
 	}
-	report, runErr := core.BalanceGridResume(ctx, spec, journal, sink)
+	report, runErr := core.GridRun(ctx, spec, core.GridResume(journal), core.GridSink(sink))
 	if report == nil {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", runErr)
 		return 2
@@ -657,7 +648,7 @@ func runGridStream(ctx context.Context, spec batch.Spec, journal *batch.Journal,
 	if js != nil {
 		sink = batch.MultiSink{js, agg}
 	}
-	runErr := core.BalanceGridStream(ctx, spec, journal, sink)
+	_, runErr := core.GridRun(ctx, spec, core.GridStreamOnly(), core.GridResume(journal), core.GridSink(sink))
 	rep := agg.Report()
 	if code := renderAggReport(rep, f.format); code != 0 {
 		return code

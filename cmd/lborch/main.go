@@ -27,16 +27,15 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
-	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/orchestrator"
+	"repro/internal/signals"
 )
 
 func main() { os.Exit(run()) }
@@ -137,12 +136,8 @@ func run() int {
 		return 2
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signals.Graceful(context.Background())
 	defer stop()
-	go func() {
-		<-ctx.Done()
-		stop()
-	}()
 	sup := &orchestrator.Supervisor{
 		Plan:       plan,
 		Command:    []string{bin},

@@ -5,6 +5,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -207,7 +208,7 @@ func TestBalanceGridEndToEnd(t *testing.T) {
 		N:          20,
 		Workers:    1,
 	}
-	rep, err := core.BalanceGrid(spec)
+	rep, err := core.GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestBalanceGridEndToEnd(t *testing.T) {
 	}
 
 	spec.Workers = 8
-	rep8, err := core.BalanceGrid(spec)
+	rep8, err := core.GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

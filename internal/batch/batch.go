@@ -313,7 +313,7 @@ func Expand(spec Spec) ([]Unit, error) {
 // one process; the static scenario canonicalizes to "" (the legacy
 // journal-compatible encoding — see Unit.Scenario).
 func parseScenarios(in []string) ([]string, []scenario.Spec, error) {
-	raw, err := normalize("scenario", in)
+	raw, err := normalizeCase("scenario", in, false)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -430,13 +430,24 @@ func (s Spec) ownedUnits(units []Unit) []Unit {
 // normalize lowercases and trims a dimension's entries and rejects empties
 // and duplicates, so the expansion is duplicate-free by construction.
 func normalize(dim string, in []string) ([]string, error) {
+	return normalizeCase(dim, in, true)
+}
+
+// normalizeCase is normalize with the lowercasing optional: the scenario
+// dimension preserves case because trace:<file> entries carry filesystem
+// paths (scenario.Parse lowercases the non-path kinds itself, so the
+// canonical-form duplicate check is unaffected).
+func normalizeCase(dim string, in []string, lower bool) ([]string, error) {
 	if len(in) == 0 {
 		return nil, fmt.Errorf("batch: spec has no %s entries", dim)
 	}
 	out := make([]string, 0, len(in))
 	seen := map[string]bool{}
 	for _, s := range in {
-		s = strings.ToLower(strings.TrimSpace(s))
+		s = strings.TrimSpace(s)
+		if lower {
+			s = strings.ToLower(s)
+		}
 		if s == "" {
 			return nil, fmt.Errorf("batch: empty %s entry", dim)
 		}

@@ -204,21 +204,41 @@ type Result struct {
 	RebalanceRounds int
 }
 
-// Balance validates cfg, runs it to completion, and reports the outcome
-// next to the matching theorem bound.
-func Balance(cfg Config) (Result, error) {
+// Validate rejects configurations Balance cannot run: a missing graph, a
+// load vector of the wrong length or with non-finite/negative entries, an
+// Epsilon outside (0,1) (≤ 0 means "use the default" and is accepted), and
+// algorithm/mode combinations that do not exist. Balance, NewSystem, Open
+// and lbserved all gate on this one method, so a bad config is rejected
+// identically everywhere.
+func (cfg Config) Validate() error {
 	if cfg.Graph == nil {
-		return Result{}, errors.New("core: Config.Graph is required")
+		return errors.New("core: Config.Graph is required")
 	}
 	n := cfg.Graph.N()
 	if len(cfg.Loads) != n {
-		return Result{}, fmt.Errorf("core: %d loads for %d nodes", len(cfg.Loads), n)
-	}
-	if cfg.Epsilon <= 0 {
-		cfg.Epsilon = 1e-3
+		return fmt.Errorf("core: %d loads for %d nodes", len(cfg.Loads), n)
 	}
 	if cfg.Epsilon >= 1 {
-		return Result{}, fmt.Errorf("core: Epsilon %v must be in (0,1)", cfg.Epsilon)
+		return fmt.Errorf("core: Epsilon %v must be in (0,1)", cfg.Epsilon)
+	}
+	for i, v := range cfg.Loads {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: invalid load %v at node %d", v, i)
+		}
+	}
+	if (cfg.Algorithm == FirstOrder || cfg.Algorithm == SecondOrder) && cfg.Mode == Discrete {
+		return fmt.Errorf("core: %v supports continuous mode only", cfg.Algorithm)
+	}
+	return nil
+}
+
+// withDefaults returns cfg with the documented zero-value defaults filled
+// in: Epsilon 1e-3, Seed 1, Workers 1, ScenarioSeed = Seed. MaxRounds is
+// left alone — its default depends on the theorem bound, which Session
+// resolves (see Session.Horizon).
+func (cfg Config) withDefaults() Config {
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 1e-3
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -226,91 +246,35 @@ func Balance(cfg Config) (Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	for i, v := range cfg.Loads {
-		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
-			return Result{}, fmt.Errorf("core: invalid load %v at node %d", v, i)
-		}
+	if cfg.ScenarioSeed == 0 {
+		cfg.ScenarioSeed = cfg.Seed
 	}
-	if (cfg.Algorithm == FirstOrder || cfg.Algorithm == SecondOrder) && cfg.Mode == Discrete {
-		return Result{}, fmt.Errorf("core: %v supports continuous mode only", cfg.Algorithm)
-	}
+	return cfg
+}
 
-	res := Result{Algorithm: cfg.Algorithm, Mode: cfg.Mode, Delta: cfg.Graph.MaxDegree()}
-
-	// Spectral inputs for the bounds (skipped for RandomPartners, whose
-	// bounds are topology-free). λ₂ comes through the shared speccache, so
-	// repeated runs on the same topology — every unit of a grid sweep —
-	// pay for the eigensolve once per process.
-	needsSpectra := cfg.Algorithm != RandomPartners
-	if needsSpectra && cfg.Graph.IsConnected() && n >= 2 {
-		l2, err := speccache.Lambda2(cfg.Graph)
-		if err != nil {
-			return Result{}, fmt.Errorf("core: λ₂: %w", err)
-		}
-		res.Lambda2 = l2
-	}
-
-	// Non-static scenarios run through the round-loop hook: arrivals are
-	// injected and the active graph swapped between rounds, and the
-	// scenario metrics are tracked alongside the trajectory. The one-shot
-	// theorem bounds below never apply to ongoing-arrival runs, so the
-	// scenario path reports none.
-	if !cfg.Scenario.IsStatic() {
-		if err := runScenario(cfg, &res); err != nil {
-			return Result{}, err
-		}
-		return res, nil
-	}
-
-	sys, err := buildSystem(cfg)
+// Balance validates cfg, runs it to completion, and reports the outcome
+// next to the matching theorem bound. It is a thin driver over the
+// stepwise Session API: Open, Step/Commit to the horizon (with the
+// scenario loop injecting arrivals and swapping graphs between rounds for
+// non-static scenarios), Close.
+func Balance(cfg Config) (Result, error) {
+	s, err := Open(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	phi0 := sys.Potential()
-	target := cfg.Epsilon * phi0
-
-	// Theorem bound and discrete floor.
-	switch {
-	case cfg.Algorithm == Diffusion && cfg.Mode == Continuous && res.Lambda2 > 0:
-		res.Bound = diffusion.ContinuousBound(cfg.Graph, res.Lambda2, cfg.Epsilon)
-		res.BoundName = "Theorem 4"
-	case cfg.Algorithm == Diffusion && cfg.Mode == Discrete && res.Lambda2 > 0:
-		thr := diffusion.DiscreteThreshold(cfg.Graph, res.Lambda2)
-		if thr > target {
-			target = thr
+	if !cfg.Scenario.IsStatic() {
+		return runScenario(s)
+	}
+	horizon := s.Horizon()
+	for s.Phi() > s.Target() && s.Rounds() < horizon {
+		if err := s.Step(); err != nil {
+			return Result{}, err
 		}
-		res.Bound = diffusion.DiscreteBound(cfg.Graph, res.Lambda2, phi0)
-		res.BoundName = "Theorem 6"
-	case cfg.Algorithm == RandomPartners && cfg.Mode == Continuous && phi0 > 1:
-		res.Bound = 120 * math.Log(phi0)
-		res.BoundName = "Theorem 12 (c=1)"
-	case cfg.Algorithm == RandomPartners && cfg.Mode == Discrete:
-		thr := randpair.DiscreteThreshold(n)
-		if thr > target {
-			target = thr
-		}
-		if phi0 > thr {
-			res.Bound = 240 * math.Log(phi0/thr)
-			res.BoundName = "Theorem 14 (c=1)"
+		if _, err := s.Commit(); err != nil {
+			return Result{}, err
 		}
 	}
-
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		if res.Bound > 0 {
-			maxRounds = int(16*res.Bound) + 64
-		} else {
-			maxRounds = 1_000_000
-		}
-	}
-
-	run := sim.Run(sys, maxRounds, sim.UntilPotential(target))
-	res.Rounds = run.Rounds
-	res.Converged = run.Converged
-	res.PhiStart = run.PhiStart()
-	res.PhiEnd = run.PhiEnd()
-	res.Trace = run.Phi
-	return res, nil
+	return s.Close(), nil
 }
 
 // buildSystem constructs the requested stepper on the config's graph and
@@ -391,19 +355,10 @@ func buildSystemOn(cfg Config, g *graph.G, loads []float64, rng *rand.Rand, spec
 // spectral bound is computed (SecondOrder still pays for its β through the
 // shared γ cache).
 func NewSystem(cfg Config) (sim.System, error) {
-	if cfg.Graph == nil {
-		return nil, errors.New("core: Config.Graph is required")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if len(cfg.Loads) != cfg.Graph.N() {
-		return nil, fmt.Errorf("core: %d loads for %d nodes", len(cfg.Loads), cfg.Graph.N())
-	}
-	if (cfg.Algorithm == FirstOrder || cfg.Algorithm == SecondOrder) && cfg.Mode == Discrete {
-		return nil, fmt.Errorf("core: %v supports continuous mode only", cfg.Algorithm)
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	return buildSystem(cfg)
+	return buildSystem(cfg.withDefaults())
 }
 
 // SpikeLoads places the whole load on node 0 — the canonical hard start.

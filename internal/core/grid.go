@@ -8,80 +8,135 @@ import (
 	"repro/internal/graph"
 )
 
-// BalanceGrid expands the declarative sweep spec into independent run units
-// and executes every (topology × algorithm × mode × workload × scenario ×
-// seed) combination through Balance on the batch engine's worker pool. Per-unit
-// RNG streams are derived from each unit's identity, so the aggregated
-// report is identical for any Spec.Workers value — one invocation with
-// Workers = GOMAXPROCS reproduces a whole paper figure's grid at full
-// hardware speed. Per-(topology, n) spectral quantities (λ₂, γ) are
-// memoized in the shared speccache, so they are computed once per process,
-// not once per unit.
-//
-// Algorithm/mode combinations Balance rejects (e.g. firstorder × discrete)
-// surface as per-cell errors in the report, not as an overall failure.
-func BalanceGrid(spec batch.Spec) (*batch.Report, error) {
-	return BalanceGridContext(context.Background(), spec)
+// GridOption configures one GridRun invocation.
+type GridOption func(*gridOptions)
+
+type gridOptions struct {
+	sink       batch.Sink
+	journal    *batch.Journal
+	shard, of  int
+	sharded    bool
+	streamOnly bool
 }
 
-// BalanceGridContext is BalanceGrid with cancellation: units not yet
-// started when ctx fires record the context error in their cells, and the
-// partial report is returned together with ctx.Err().
-func BalanceGridContext(ctx context.Context, spec batch.Spec) (*batch.Report, error) {
-	return BalanceGridSink(ctx, spec, nil)
+// GridSink streams every finished cell to sink in expansion order as the
+// sweep progresses (typically a batch.JSONLSink journal, which makes long
+// sweeps crash-resumable, or a batch.AggSink — fan out with
+// batch.MultiSink for both).
+func GridSink(sink batch.Sink) GridOption {
+	return func(o *gridOptions) { o.sink = sink }
 }
 
-// BalanceGridSink is BalanceGridContext with a streaming sink: every
-// finished cell is also delivered to sink in expansion order as the sweep
-// progresses (typically a batch.JSONLSink journal, which makes long sweeps
-// crash-resumable). sink may be nil.
-func BalanceGridSink(ctx context.Context, spec batch.Spec, sink batch.Sink) (*batch.Report, error) {
-	if err := validateGridSpec(spec); err != nil {
-		return nil, err
-	}
-	return batch.RunSink(ctx, spec, balanceRunFunc(spec), sink)
+// GridResume replays units journaled with a clean outcome by Key instead
+// of re-running them; missing and failed units execute normally. The
+// merged report (and the stream written to the sink) is byte-identical to
+// an uninterrupted run of the same spec — see batch.Resume, including its
+// refusal of journals recorded under different run parameters. A nil
+// journal is a fresh start.
+func GridResume(journal *batch.Journal) GridOption {
+	return func(o *gridOptions) { o.journal = journal }
 }
 
-// BalanceGridResume re-runs spec against a partial JSONL journal: units
-// journaled with a clean outcome are replayed by Key without re-running;
-// missing and failed units execute normally. The merged report (and the
-// stream written to sink) is byte-identical to an uninterrupted run of the
-// same spec — see batch.Resume, including its refusal of journals recorded
-// under different run parameters. A nil journal degrades to
-// BalanceGridSink.
-func BalanceGridResume(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
-	if err := validateGridSpec(spec); err != nil {
-		return nil, err
-	}
-	return batch.Resume(ctx, spec, balanceRunFunc(spec), journal, sink)
-}
-
-// BalanceGridSharded runs shard `shard` of `of` of the sweep: the slice of
-// the expansion whose unit indices are ≡ shard (mod of), so the `of` shard
+// GridShard runs shard `shard` of `of` of the sweep: the slice of the
+// expansion whose unit indices are ≡ shard (mod of), so the `of` shard
 // processes together cover every unit exactly once. Each shard journals to
 // its own sink; batch.MergeJournals (or lbbench -merge) reassembles the
 // per-shard journals into one report byte-identical to a single-process
-// sweep. journal may carry the shard's own partial journal to resume a
-// shard that died partway; nil starts fresh.
-func BalanceGridSharded(ctx context.Context, spec batch.Spec, shard, of int, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
-	sharded, err := spec.Shard(shard, of)
-	if err != nil {
-		return nil, err
-	}
-	return BalanceGridResume(ctx, sharded, journal, sink)
+// sweep.
+func GridShard(shard, of int) GridOption {
+	return func(o *gridOptions) { o.shard, o.of, o.sharded = shard, of, true }
 }
 
-// BalanceGridStream is the streaming-only sweep: cells are delivered to
-// sink (typically a batch.AggSink, alone or fanned out with a journal via
-// batch.MultiSink) and never materialized in an in-process report, so
-// memory stays independent of the unit count. journal resumes a partial
-// sweep exactly as BalanceGridResume would; nil starts fresh. Combine with
-// a sharded spec to stream one shard of a multi-process sweep.
-func BalanceGridStream(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) error {
-	if err := validateGridSpec(spec); err != nil {
-		return err
+// GridStreamOnly skips materializing the in-process report — cells exist
+// only in the sink's stream, so memory stays independent of the unit
+// count. Requires GridSink; GridRun returns a nil report.
+func GridStreamOnly() GridOption {
+	return func(o *gridOptions) { o.streamOnly = true }
+}
+
+// GridRun expands the declarative sweep spec into independent run units
+// and executes every (topology × algorithm × mode × workload × scenario ×
+// seed) combination through Balance on the batch engine's worker pool.
+// Per-unit RNG streams are derived from each unit's identity, so the
+// aggregated report is identical for any Spec.Workers value — one
+// invocation with Workers = GOMAXPROCS reproduces a whole paper figure's
+// grid at full hardware speed. Per-(topology, n) spectral quantities
+// (λ₂, γ) are memoized in the shared speccache, so they are computed once
+// per process, not once per unit.
+//
+// Algorithm/mode combinations Balance rejects (e.g. firstorder × discrete)
+// surface as per-cell errors in the report, not as an overall failure.
+// Units not yet started when ctx fires record the context error in their
+// cells, and the partial report is returned together with ctx.Err().
+//
+// Options compose the sweep's plumbing: GridSink streams cells, GridResume
+// skips journaled work, GridShard takes one slice of a multi-process
+// sweep, GridStreamOnly drops the in-process report. The legacy
+// BalanceGrid* entry points are thin wrappers over this one function.
+func GridRun(ctx context.Context, spec batch.Spec, opts ...GridOption) (*batch.Report, error) {
+	var o gridOptions
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return batch.ResumeStream(ctx, spec, balanceRunFunc(spec), journal, sink)
+	if o.sharded {
+		sharded, err := spec.Shard(o.shard, o.of)
+		if err != nil {
+			return nil, err
+		}
+		spec = sharded
+	}
+	if err := validateGridSpec(spec); err != nil {
+		return nil, err
+	}
+	run := balanceRunFunc(spec)
+	if o.streamOnly {
+		return nil, batch.ResumeStream(ctx, spec, run, o.journal, o.sink)
+	}
+	return batch.Resume(ctx, spec, run, o.journal, o.sink)
+}
+
+// BalanceGrid runs the sweep with no context, sink or journal.
+//
+// Deprecated: use GridRun.
+func BalanceGrid(spec batch.Spec) (*batch.Report, error) {
+	return GridRun(context.Background(), spec)
+}
+
+// BalanceGridContext is BalanceGrid with cancellation.
+//
+// Deprecated: use GridRun.
+func BalanceGridContext(ctx context.Context, spec batch.Spec) (*batch.Report, error) {
+	return GridRun(ctx, spec)
+}
+
+// BalanceGridSink is BalanceGridContext with a streaming sink.
+//
+// Deprecated: use GridRun with GridSink.
+func BalanceGridSink(ctx context.Context, spec batch.Spec, sink batch.Sink) (*batch.Report, error) {
+	return GridRun(ctx, spec, GridSink(sink))
+}
+
+// BalanceGridResume re-runs spec against a partial JSONL journal.
+//
+// Deprecated: use GridRun with GridResume and GridSink.
+func BalanceGridResume(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
+	return GridRun(ctx, spec, GridResume(journal), GridSink(sink))
+}
+
+// BalanceGridSharded runs one shard of a multi-process sweep.
+//
+// Deprecated: use GridRun with GridShard (plus GridResume and GridSink).
+func BalanceGridSharded(ctx context.Context, spec batch.Spec, shard, of int, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
+	return GridRun(ctx, spec, GridShard(shard, of), GridResume(journal), GridSink(sink))
+}
+
+// BalanceGridStream is the streaming-only sweep.
+//
+// Deprecated: use GridRun with GridStreamOnly (plus GridSink and
+// GridResume).
+func BalanceGridStream(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) error {
+	_, err := GridRun(ctx, spec, GridStreamOnly(), GridSink(sink), GridResume(journal))
+	return err
 }
 
 // ValidateGridSpec rejects every spec BalanceGrid would reject, without

@@ -10,119 +10,55 @@ import (
 	"repro/internal/randpair"
 	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/speccache"
 )
 
-// runScenario drives one balancing run under a non-static scenario: each
-// round it asks the scenario instance for the active graph (rebuilding the
-// stepper — with the current loads and a persistent algorithm RNG — only
-// when the graph actually changes), advances the stepper one synchronous
-// round, injects the scenario's arrivals straight into the stepper's live
-// load state, and records the potential. Arrival-bearing scenarios run
-// their full horizon (there is no convergence round to stop at while load
-// keeps landing); arrival-free ones (pure topology churn) stop early once
-// Φ reaches the target, exactly like a static run.
+// runScenario drives an open session under its non-static scenario: each
+// round it asks the scenario instance for the active graph (SwapGraph
+// rebuilds the stepper — with the current loads and the session's
+// persistent algorithm RNG — only when the graph actually changes),
+// advances the stepper one synchronous round, injects the scenario's
+// arrivals straight into the stepper's live load state, and commits the
+// potential. Arrival-bearing scenarios run their full horizon (there is no
+// convergence round to stop at while load keeps landing); arrival-free
+// ones (pure topology churn) stop early once Φ reaches the target, exactly
+// like a static run.
 //
 // All randomness is split into two streams — cfg.Seed for the algorithm,
 // cfg.ScenarioSeed for the scenario — and every draw happens at a fixed
 // point of the sequential round loop, so identical seeds reproduce
 // identical trajectories regardless of worker counts or shard splits.
-func runScenario(cfg Config, res *Result) error {
-	scnSeed := cfg.ScenarioSeed
-	if scnSeed == 0 {
-		scnSeed = cfg.Seed
-	}
+func runScenario(s *Session) (Result, error) {
+	cfg := s.Config()
 	var ref float64
 	for _, v := range cfg.Loads {
 		ref += v
 	}
-	inst, err := cfg.Scenario.New(cfg.Graph, ref, rand.New(rand.NewSource(scnSeed)))
+	inst, err := cfg.Scenario.New(cfg.Graph, ref, rand.New(rand.NewSource(cfg.ScenarioSeed)))
 	if err != nil {
-		return fmt.Errorf("core: %w", err)
+		return Result{}, fmt.Errorf("core: %w", err)
 	}
 
-	maxRounds := cfg.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = scenario.DefaultHorizon
-	}
-
-	algoRNG := rand.New(rand.NewSource(cfg.Seed))
-	g := cfg.Graph
-	// The base graph's spectra go through the shared cache (it recurs
-	// across every unit of its topology); churned per-round graphs use a
-	// cache that dies with the run, so one-shot subgraphs never pollute —
-	// or spill to disk from — the process-wide cache.
-	runSpectra := speccache.New()
-	sys, err := buildSystemOn(cfg, g, cfg.Loads, algoRNG, speccache.Shared())
-	if err != nil {
-		return err
-	}
-
-	phi := sys.Potential()
-	target := cfg.Epsilon * phi
-	res.PhiStart = phi
-	res.PeakPhi = phi
-	res.Trace = make([]float64, 1, maxRounds+1)
-	res.Trace[0] = phi
-
-	n := cfg.Graph.N()
-	lastEvent := 0   // round index of the most recent load injection
-	rebalanced := -1 // first round with Φ ≤ target since lastEvent
-	if phi <= target {
-		rebalanced = 0
-	}
-	for t := 1; t <= maxRounds; t++ {
+	horizon := s.Horizon()
+	for t := 1; t <= horizon; t++ {
 		k := t - 1 // scenarios number rounds from 0
-		if ng := inst.Graph(k); ng != g {
-			g = ng
-			spectra := runSpectra
-			if g == cfg.Graph {
-				spectra = speccache.Shared()
-			}
-			sys, err = buildSystemOn(cfg, g, currentLoads(sys, cfg.Mode), algoRNG, spectra)
-			if err != nil {
-				return err
-			}
+		if err := s.SwapGraph(inst.Graph(k)); err != nil {
+			return Result{}, err
 		}
-		sys.Step()
-		injected, err := inject(sys, cfg.Mode, inst.Arrivals(k, currentLoads(sys, cfg.Mode)))
+		if err := s.Step(); err != nil {
+			return Result{}, err
+		}
+		if _, err := s.Inject(inst.Arrivals(k, s.Loads())); err != nil {
+			return Result{}, err
+		}
+		phi, err := s.Commit()
 		if err != nil {
-			return err
+			return Result{}, err
 		}
-		phi = sys.Potential()
-		res.Trace = append(res.Trace, phi)
-		res.Rounds = t
-		if phi > res.PeakPhi {
-			res.PeakPhi = phi
-		}
-		switch {
-		case injected > 0:
-			lastEvent, rebalanced = t, -1
-		case rebalanced < 0 && phi <= target:
-			rebalanced = t
-		}
-		if inst.ArrivalFree() && phi <= target {
+		if inst.ArrivalFree() && phi <= s.Target() {
 			break
 		}
 	}
-
-	res.PhiEnd = phi
-	res.Converged = phi <= target
-	if rebalanced >= 0 {
-		res.RebalanceRounds = rebalanced - lastEvent
-	}
-	// Steady state: mean RMS discrepancy over the final quarter of the
-	// observed trajectory (at least one round).
-	q := len(res.Trace) / 4
-	if q < 1 {
-		q = 1
-	}
-	var sum float64
-	for _, p := range res.Trace[len(res.Trace)-q:] {
-		sum += math.Sqrt(p / float64(n))
-	}
-	res.SteadyRMS = sum / float64(q)
-	return nil
+	return s.Close(), nil
 }
 
 // currentLoads returns the stepper's live load state as a float vector:

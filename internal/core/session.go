@@ -1,0 +1,371 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/diffusion"
+	"repro/internal/graph"
+	"repro/internal/randpair"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/speccache"
+)
+
+// Session is the stepwise form of Balance: the same validated
+// configuration, stepper factory, theorem bounds and round bookkeeping,
+// but with the round loop inverted so the caller drives it. Balance, the
+// scenario engine and the lbserved daemon all run on this one state
+// machine, so the serial IEEE op chain — and with it every byte-identity
+// guarantee of the batch engine — is shared by construction instead of
+// re-implemented per driver.
+//
+// The protocol is
+//
+//	s, err := core.Open(cfg)
+//	for !done {
+//	        s.SwapGraph(g)      // optional, between rounds only
+//	        s.Step()            // one synchronous balancing round
+//	        s.Inject(arrivals)  // optional, mid-round only
+//	        phi, _ := s.Commit()
+//	}
+//	res := s.Close()
+//
+// Each round is Step → (Inject)* → Commit; Commit observes the potential,
+// appends it to the trace and advances the rebalance bookkeeping. The
+// ordering is load-bearing: arrivals land after the round's transfers and
+// before the potential is observed, exactly as the scenario engine has
+// always done, so a trace recorded from a live session replays
+// byte-identically through the grid.
+type Session struct {
+	cfg  Config
+	base *graph.G // cfg.Graph; SwapGraph may activate others
+	g    *graph.G // the active graph
+	sys  sim.System
+
+	// algoRNG persists across SwapGraph rebuilds so a randomized
+	// algorithm's draw stream never restarts mid-run; runSpectra keeps
+	// churned one-shot subgraphs out of the process-wide speccache.
+	algoRNG    *rand.Rand
+	runSpectra *speccache.Cache
+
+	lambda2   float64
+	bound     float64
+	boundName string
+	target    float64
+
+	rounds   int
+	trace    []float64
+	peak     float64
+	injected float64 // load landed since the last Commit
+	midRound bool    // Step taken, Commit pending
+
+	lastEvent  int // round index of the most recent load injection
+	rebalanced int // first round with Φ ≤ target since lastEvent; -1 while above
+	closed     bool
+}
+
+// SessionMetrics is a point-in-time view of a live session — the numbers
+// lbserved serves from /metrics. All fields mirror their Result
+// counterparts; RebalanceRounds is -1 while the system is still above the
+// target since the last injection.
+type SessionMetrics struct {
+	Rounds          int
+	Phi             float64
+	PhiStart        float64
+	PeakPhi         float64
+	Target          float64
+	Converged       bool
+	Lambda2         float64
+	Bound           float64
+	BoundName       string
+	SteadyRMS       float64
+	RebalanceRounds int
+}
+
+var errSessionClosed = errors.New("core: session is closed")
+
+// Open validates cfg, fills its defaults, computes the spectral inputs and
+// theorem bound (static scenarios only — the one-shot theorems never apply
+// to ongoing-arrival runs), builds the stepper and observes Φ⁰. The
+// returned session has completed round 0: Phi() is Φ⁰ and the trace holds
+// one entry.
+func Open(cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	s := &Session{
+		cfg:        cfg,
+		base:       cfg.Graph,
+		g:          cfg.Graph,
+		algoRNG:    rand.New(rand.NewSource(cfg.Seed)),
+		runSpectra: speccache.New(),
+		rebalanced: -1,
+	}
+
+	// Spectral inputs for the bounds (skipped for RandomPartners, whose
+	// bounds are topology-free). λ₂ comes through the shared speccache,
+	// so repeated runs on the same topology — every unit of a grid sweep
+	// — pay for the eigensolve once per process.
+	n := cfg.Graph.N()
+	if cfg.Algorithm != RandomPartners && cfg.Graph.IsConnected() && n >= 2 {
+		l2, err := speccache.Lambda2(cfg.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("core: λ₂: %w", err)
+		}
+		s.lambda2 = l2
+	}
+
+	sys, err := buildSystemOn(cfg, cfg.Graph, cfg.Loads, s.algoRNG, speccache.Shared())
+	if err != nil {
+		return nil, err
+	}
+	s.sys = sys
+
+	phi0 := sys.Potential()
+	s.target = cfg.Epsilon * phi0
+	s.peak = phi0
+	s.trace = append(make([]float64, 0, 128), phi0)
+
+	// Theorem bound and discrete floor — static runs only: a scenario
+	// run's target stays ε·Φ⁰ with no theorem attached.
+	if cfg.Scenario.IsStatic() {
+		switch {
+		case cfg.Algorithm == Diffusion && cfg.Mode == Continuous && s.lambda2 > 0:
+			s.bound = diffusion.ContinuousBound(cfg.Graph, s.lambda2, cfg.Epsilon)
+			s.boundName = "Theorem 4"
+		case cfg.Algorithm == Diffusion && cfg.Mode == Discrete && s.lambda2 > 0:
+			if thr := diffusion.DiscreteThreshold(cfg.Graph, s.lambda2); thr > s.target {
+				s.target = thr
+			}
+			s.bound = diffusion.DiscreteBound(cfg.Graph, s.lambda2, phi0)
+			s.boundName = "Theorem 6"
+		case cfg.Algorithm == RandomPartners && cfg.Mode == Continuous && phi0 > 1:
+			s.bound = 120 * math.Log(phi0)
+			s.boundName = "Theorem 12 (c=1)"
+		case cfg.Algorithm == RandomPartners && cfg.Mode == Discrete:
+			thr := randpair.DiscreteThreshold(n)
+			if thr > s.target {
+				s.target = thr
+			}
+			if phi0 > thr {
+				s.bound = 240 * math.Log(phi0/thr)
+				s.boundName = "Theorem 14 (c=1)"
+			}
+		}
+	}
+	if phi0 <= s.target {
+		s.rebalanced = 0
+	}
+	return s, nil
+}
+
+// Config returns the session's configuration with defaults filled in.
+func (s *Session) Config() Config { return s.cfg }
+
+// Rounds returns the number of committed rounds.
+func (s *Session) Rounds() int { return s.rounds }
+
+// Phi returns the most recently committed potential (Φ⁰ before the first
+// Commit).
+func (s *Session) Phi() float64 { return s.trace[len(s.trace)-1] }
+
+// Target returns the convergence target: ε·Φ⁰, raised to the discrete
+// threshold where the theorems demand one.
+func (s *Session) Target() float64 { return s.target }
+
+// Horizon returns the resolved round cap: cfg.MaxRounds when positive,
+// otherwise 16× the theorem bound + 64 (10⁶ when no bound applies) for
+// static runs or scenario.DefaultHorizon for scenario runs.
+func (s *Session) Horizon() int {
+	if s.cfg.MaxRounds > 0 {
+		return s.cfg.MaxRounds
+	}
+	if !s.cfg.Scenario.IsStatic() {
+		return scenario.DefaultHorizon
+	}
+	if s.bound > 0 {
+		return int(16*s.bound) + 64
+	}
+	return 1_000_000
+}
+
+// Step advances the stepper one synchronous balancing round and opens the
+// round: the caller must Commit (optionally after Inject) before stepping
+// again.
+func (s *Session) Step() error {
+	if s.closed {
+		return errSessionClosed
+	}
+	if s.midRound {
+		return errors.New("core: Step called twice without Commit")
+	}
+	s.sys.Step()
+	s.midRound = true
+	return nil
+}
+
+// Inject lands arrivals in the stepper's live load state mid-round — after
+// Step, before Commit — returning the total actually injected (discrete
+// amounts round to whole tokens; non-positive amounts and out-of-range
+// nodes are skipped). Restricting injection to mid-round keeps every
+// trajectory expressible as a trace:<file> scenario, which is what makes
+// live sessions replayable through the grid.
+func (s *Session) Inject(arrivals []scenario.Arrival) (float64, error) {
+	if s.closed {
+		return 0, errSessionClosed
+	}
+	if !s.midRound {
+		return 0, errors.New("core: Inject outside a round (call Step first)")
+	}
+	total, err := inject(s.sys, s.cfg.Mode, arrivals)
+	if err != nil {
+		return 0, err
+	}
+	s.injected += total
+	return total, nil
+}
+
+// SwapGraph activates g, rebuilding the stepper on the current loads with
+// the persistent algorithm RNG. A no-op when g is already active; only
+// legal between rounds. The base graph's spectra go through the shared
+// cache (it recurs across every unit of its topology); churned per-round
+// graphs use a cache that dies with the session, so one-shot subgraphs
+// never pollute — or spill to disk from — the process-wide cache.
+func (s *Session) SwapGraph(g *graph.G) error {
+	if s.closed {
+		return errSessionClosed
+	}
+	if g == nil {
+		return errors.New("core: SwapGraph(nil)")
+	}
+	if s.midRound {
+		return errors.New("core: SwapGraph mid-round (Commit first)")
+	}
+	if g == s.g {
+		return nil
+	}
+	spectra := s.runSpectra
+	if g == s.base {
+		spectra = speccache.Shared()
+	}
+	sys, err := buildSystemOn(s.cfg, g, currentLoads(s.sys, s.cfg.Mode), s.algoRNG, spectra)
+	if err != nil {
+		return err
+	}
+	s.g, s.sys = g, sys
+	return nil
+}
+
+// Commit closes the round: observes the potential, appends it to the
+// trace, updates the peak and the rebalance bookkeeping, and returns the
+// new Φ.
+func (s *Session) Commit() (float64, error) {
+	if s.closed {
+		return 0, errSessionClosed
+	}
+	if !s.midRound {
+		return 0, errors.New("core: Commit without Step")
+	}
+	phi := s.sys.Potential()
+	s.rounds++
+	s.trace = append(s.trace, phi)
+	if phi > s.peak {
+		s.peak = phi
+	}
+	switch {
+	case s.injected > 0:
+		s.lastEvent, s.rebalanced = s.rounds, -1
+	case s.rebalanced < 0 && phi <= s.target:
+		s.rebalanced = s.rounds
+	}
+	s.injected = 0
+	s.midRound = false
+	return phi, nil
+}
+
+// Loads returns the stepper's live load state as a float vector: the
+// continuous vector itself (no copy — treat as read-only), or a fresh
+// float view of the token counts. This is the view scenario arrival
+// processes observe.
+func (s *Session) Loads() []float64 {
+	return currentLoads(s.sys, s.cfg.Mode)
+}
+
+// Snapshot returns a copy of the per-node load state, safe to retain.
+func (s *Session) Snapshot() []float64 {
+	live := currentLoads(s.sys, s.cfg.Mode)
+	out := make([]float64, len(live))
+	copy(out, live)
+	return out
+}
+
+// Metrics returns a point-in-time view of the session.
+func (s *Session) Metrics() SessionMetrics {
+	m := SessionMetrics{
+		Rounds:          s.rounds,
+		Phi:             s.Phi(),
+		PhiStart:        s.trace[0],
+		PeakPhi:         s.peak,
+		Target:          s.target,
+		Converged:       s.Phi() <= s.target,
+		Lambda2:         s.lambda2,
+		Bound:           s.bound,
+		BoundName:       s.boundName,
+		SteadyRMS:       steadyRMS(s.trace, s.base.N()),
+		RebalanceRounds: -1,
+	}
+	if s.rebalanced >= 0 {
+		m.RebalanceRounds = s.rebalanced - s.lastEvent
+	}
+	return m
+}
+
+// Close seals the session and reports the run in Balance's Result form.
+// The theorem bound is reported for static sessions; the scenario metrics
+// (PeakPhi, SteadyRMS, RebalanceRounds) for scenario sessions — matching
+// what Balance has always reported for each kind of run.
+func (s *Session) Close() Result {
+	s.closed = true
+	res := Result{
+		Algorithm: s.cfg.Algorithm,
+		Mode:      s.cfg.Mode,
+		Rounds:    s.rounds,
+		Converged: s.Phi() <= s.target,
+		PhiStart:  s.trace[0],
+		PhiEnd:    s.Phi(),
+		Trace:     s.trace,
+		Lambda2:   s.lambda2,
+		Delta:     s.base.MaxDegree(),
+	}
+	if s.cfg.Scenario.IsStatic() {
+		res.Bound = s.bound
+		res.BoundName = s.boundName
+		return res
+	}
+	res.PeakPhi = s.peak
+	if s.rebalanced >= 0 {
+		res.RebalanceRounds = s.rebalanced - s.lastEvent
+	}
+	res.SteadyRMS = steadyRMS(s.trace, s.base.N())
+	return res
+}
+
+// steadyRMS is the mean RMS discrepancy √(Φ/n) over the final quarter of
+// the trajectory (at least one round) — the steady-state metric scenario
+// runs report.
+func steadyRMS(trace []float64, n int) float64 {
+	q := len(trace) / 4
+	if q < 1 {
+		q = 1
+	}
+	var sum float64
+	for _, p := range trace[len(trace)-q:] {
+		sum += math.Sqrt(p / float64(n))
+	}
+	return sum / float64(q)
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/graph"
+	"repro/internal/scenario"
+)
+
+// TestSessionMatchesBalanceStatic: driving a Session by hand — Open, then
+// Step/Commit to the horizon or the target — must reproduce Balance's
+// Result exactly (same trace bits, same bound, same bookkeeping) on the
+// full algorithm × mode matrix. Balance is itself a Session driver now, but
+// this test drives the *public* stepwise API independently, so a future
+// regression in either path fails here.
+func TestSessionMatchesBalanceStatic(t *testing.T) {
+	g := graph.Torus(4, 4)
+	for _, am := range algorithmModes() {
+		t.Run(am.Algo.String()+"-"+modeName(am.Mode), func(t *testing.T) {
+			cfg := Config{
+				Graph:     g,
+				Algorithm: am.Algo,
+				Mode:      am.Mode,
+				Loads:     SpikeLoads(g.N(), 1e6),
+				Epsilon:   1e-4,
+				MaxRounds: 512,
+				Seed:      7,
+			}
+			want, err := Balance(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s.Phi() > s.Target() && s.Rounds() < s.Horizon() {
+				if err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := s.Close()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("session drive diverges from Balance:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSessionMatchesBalanceScenario: replicating the scenario round loop
+// through the public Session API — SwapGraph, Step, Inject(Arrivals),
+// Commit — must match Balance's scenario path trace-for-trace, across
+// arrival-bearing, adversarial and churn scenarios in both modes.
+func TestSessionMatchesBalanceScenario(t *testing.T) {
+	g := graph.Torus(4, 4)
+	for _, tc := range []struct {
+		scenario string
+		algo     Algorithm
+		mode     Mode
+	}{
+		{"poisson-arrivals", Diffusion, Continuous},
+		{"adversarial-respike:8:0.5", Diffusion, Discrete},
+		{"bursty:8:0.25", RandomPartners, Discrete},
+		{"edge-churn:0.2", DimensionExchange, Continuous},
+		{"hotspot-drift", RoundRobinExchange, Discrete},
+	} {
+		t.Run(tc.scenario, func(t *testing.T) {
+			sp, err := scenario.Parse(tc.scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := Config{
+				Graph:     g,
+				Algorithm: tc.algo,
+				Mode:      tc.mode,
+				Loads:     SpikeLoads(g.N(), 1e6),
+				Epsilon:   1e-4,
+				MaxRounds: 64,
+				Seed:      7,
+				Scenario:  sp,
+			}
+			want, err := Balance(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			s, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref float64
+			for _, v := range cfg.Loads {
+				ref += v
+			}
+			// ScenarioSeed defaults to Seed, like Balance.
+			inst, err := sp.New(cfg.Graph, ref, rand.New(rand.NewSource(cfg.Seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < s.Horizon(); k++ {
+				if err := s.SwapGraph(inst.Graph(k)); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s.Inject(inst.Arrivals(k, s.Loads())); err != nil {
+					t.Fatal(err)
+				}
+				phi, err := s.Commit()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if inst.ArrivalFree() && phi <= s.Target() {
+					break
+				}
+			}
+			got := s.Close()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("session scenario drive diverges from Balance:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSessionProtocolErrors: the state machine must reject out-of-order
+// calls instead of silently corrupting the op chain.
+func TestSessionProtocolErrors(t *testing.T) {
+	g := graph.Cycle(8)
+	cfg := Config{Graph: g, Loads: SpikeLoads(8, 100)}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(); err == nil {
+		t.Error("Commit before Step accepted")
+	}
+	if _, err := s.Inject(nil); err == nil {
+		t.Error("Inject outside a round accepted")
+	}
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(); err == nil {
+		t.Error("second Step without Commit accepted")
+	}
+	if err := s.SwapGraph(graph.Cycle(8)); err == nil {
+		t.Error("SwapGraph mid-round accepted")
+	}
+	if _, err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Step(); err == nil {
+		t.Error("Step after Close accepted")
+	}
+	if _, err := s.Commit(); err == nil {
+		t.Error("Commit after Close accepted")
+	}
+}
+
+// TestValidateMatchesEntrypoints: Config.Validate must reject exactly what
+// Balance and NewSystem reject — one gate, identical everywhere.
+func TestValidateMatchesEntrypoints(t *testing.T) {
+	g := graph.Cycle(4)
+	bad := []Config{
+		{},
+		{Graph: g, Loads: []float64{1}},
+		{Graph: g, Loads: []float64{1, 2, 3, 4}, Epsilon: 2},
+		{Graph: g, Loads: []float64{1, -2, 3, 4}},
+		{Graph: g, Loads: []float64{1, 2, 3, 4}, Algorithm: FirstOrder, Mode: Discrete},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted", i)
+		}
+		if _, err := Balance(cfg); err == nil {
+			t.Errorf("case %d: Balance accepted", i)
+		}
+		if _, err := NewSystem(cfg); err == nil {
+			t.Errorf("case %d: NewSystem accepted", i)
+		}
+		if _, err := Open(cfg); err == nil {
+			t.Errorf("case %d: Open accepted", i)
+		}
+	}
+	good := Config{Graph: g, Loads: []float64{4, 0, 0, 0}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected a good config: %v", err)
+	}
+}
+
+// stripWall zeroes the wall-clock field — the one intentionally
+// nondeterministic cell member (excluded from every emitter for the same
+// reason) — so DeepEqual checks the deterministic payload.
+func stripWall(cells []batch.Cell) []batch.Cell {
+	out := append([]batch.Cell(nil), cells...)
+	for i := range out {
+		out[i].Wall = 0
+	}
+	return out
+}
+
+// TestTraceScenarioGridByteIdentity: a trace:<file> scenario must ride the
+// grid like any other dimension — byte-identical reports for any worker
+// count, alongside static cells.
+func TestTraceScenarioGridByteIdentity(t *testing.T) {
+	path := t.TempDir() + "/arrivals.jsonl"
+	tw, err := scenario.CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []scenario.Event{
+		{Round: 0, Node: 3, Amount: 5000},
+		{Round: 0, Node: 11, Amount: 125.5},
+		{Round: 7, Node: 0, Amount: 9000},
+		{Round: 20, Node: 15, Amount: 640},
+	} {
+		if err := tw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := batch.Spec{
+		Topologies: []string{"torus", "cycle"},
+		Algorithms: []string{"diffusion", "randpair"},
+		Modes:      []string{"continuous", "discrete"},
+		Workloads:  []string{"spike"},
+		Scenarios:  []string{"static", "trace:" + path},
+		N:          16,
+		Seeds:      []int64{1, 2},
+		MaxRounds:  48,
+	}
+	run := func(workers int) *batch.Report {
+		s := spec
+		s.Workers = workers
+		rep, err := GridRun(context.Background(), s)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Failed() > 0 {
+			t.Fatalf("workers=%d: %d cells failed", workers, rep.Failed())
+		}
+		return rep
+	}
+	w1, w4 := run(1), run(4)
+	if !reflect.DeepEqual(stripWall(w1.Cells), stripWall(w4.Cells)) {
+		t.Fatal("trace-scenario grid differs between 1 and 4 workers")
+	}
+}
+
+// TestGridWrappersMatchGridRun: the deprecated BalanceGrid* wrappers must
+// stay behaviorally identical to the GridRun calls they forward to.
+func TestGridWrappersMatchGridRun(t *testing.T) {
+	spec := batch.Spec{
+		Topologies: []string{"cycle"},
+		Algorithms: []string{"diffusion"},
+		Modes:      []string{"continuous"},
+		Workloads:  []string{"spike"},
+		N:          16,
+		Seeds:      []int64{1, 2, 3},
+	}
+	want, err := GridRun(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := BalanceGrid(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(got.Cells), stripWall(want.Cells)) {
+		t.Fatal("BalanceGrid diverges from GridRun")
+	}
+	shard, err := GridRun(context.Background(), spec, GridShard(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardW, err := BalanceGridSharded(context.Background(), spec, 1, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripWall(shardW.Cells), stripWall(shard.Cells)) {
+		t.Fatal("BalanceGridSharded diverges from GridRun+GridShard")
+	}
+}

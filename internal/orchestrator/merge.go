@@ -34,7 +34,7 @@ func (p *Plan) MergeReport(ctx context.Context, format string, streamAgg bool, s
 	if stats.Dropped > 0 {
 		fmt.Fprintf(stderr, "orchestrator: merge: dropped %d corrupt/truncated line(s); those units re-run\n", stats.Dropped)
 	}
-	report, runErr := core.BalanceGridResume(ctx, p.Spec, journal, nil)
+	report, runErr := core.GridRun(ctx, p.Spec, core.GridResume(journal))
 	if report == nil {
 		return 0, runErr
 	}

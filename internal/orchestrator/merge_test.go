@@ -21,7 +21,7 @@ func writePlanJournals(t *testing.T, p *Plan) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := core.BalanceGridSharded(context.Background(), p.Spec, sh.Index, sh.Count, nil, sink); err != nil {
+		if _, err := core.GridRun(context.Background(), p.Spec, core.GridShard(sh.Index, sh.Count), core.GridSink(sink)); err != nil {
 			t.Fatal(err)
 		}
 		if err := sink.Close(); err != nil {
@@ -42,7 +42,7 @@ func TestMergeReportByteIdentical(t *testing.T) {
 	}
 	writePlanJournals(t, p)
 
-	full, err := core.BalanceGrid(spec)
+	full, err := core.GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestMergeReportByteIdentical(t *testing.T) {
 
 	// Streaming-only aggregates: same property against the live fold.
 	agg := batch.NewAggSink()
-	if err := core.BalanceGridStream(context.Background(), spec, nil, agg); err != nil {
+	if _, err := core.GridRun(context.Background(), spec, core.GridStreamOnly(), core.GridSink(agg)); err != nil {
 		t.Fatal(err)
 	}
 	want.Reset()
@@ -140,7 +140,7 @@ func TestMergeReportRerunsGaps(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	full, err := core.BalanceGrid(spec)
+	full, err := core.GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

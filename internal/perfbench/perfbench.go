@@ -25,6 +25,7 @@
 package perfbench
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -579,7 +580,7 @@ func runSweeps(cfg Config) ([]SweepResult, error) {
 		warm := spec
 		warm.Seeds = []int64{1}
 		warm.MaxRounds = 1
-		if _, err := core.BalanceGrid(warm); err != nil {
+		if _, err := core.GridRun(context.Background(), warm); err != nil {
 			return nil, fmt.Errorf("perfbench: sweep warm-up: %w", err)
 		}
 	}
@@ -589,7 +590,7 @@ func runSweeps(cfg Config) ([]SweepResult, error) {
 		spec := e.spec
 		spec.Workers, spec.RoundWorkers = e.w, e.rw
 		start := time.Now()
-		rep, err := core.BalanceGrid(spec)
+		rep, err := core.GridRun(context.Background(), spec)
 		if err != nil {
 			return nil, fmt.Errorf("perfbench: sweep %s: %w", e.name, err)
 		}

@@ -127,6 +127,31 @@ func (s Spec) New(base *graph.G, ref float64, rng *rand.Rand) (*Instance, error)
 			return cur
 		}, arrivals: none, arrivalFree: true}, nil
 
+	case Trace:
+		events, err := ReadTraceFile(s.Path)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		for _, e := range events {
+			if e.Node >= n {
+				return nil, fmt.Errorf("scenario: trace %s: round %d targets node %d but the graph has %d nodes", s.Path, e.Round, e.Node, n)
+			}
+		}
+		// The cursor rides the in-order round-loop contract documented on
+		// Instance: events land exactly at their recorded round, no RNG
+		// draws, so replay is deterministic with any rng (including nil).
+		cursor := 0
+		return &Instance{graphAt: static, arrivals: func(k int, _ []float64) []Arrival {
+			var out []Arrival
+			for cursor < len(events) && events[cursor].Round <= k {
+				if events[cursor].Round == k {
+					out = append(out, Arrival{Node: events[cursor].Node, Amount: events[cursor].Amount})
+				}
+				cursor++
+			}
+			return out
+		}}, nil
+
 	default:
 		return nil, fmt.Errorf("scenario: unknown kind %v", s.Kind)
 	}

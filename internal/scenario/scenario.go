@@ -58,6 +58,14 @@ const (
 	// PeriodicFailures fails a fresh random edge set every period and keeps
 	// it down for the whole period — flaky links with repair cycles.
 	PeriodicFailures
+	// Trace replays a recorded arrival trace (JSONL events, see
+	// ReadTraceFile) round-for-round on the fixed base graph. Written as
+	// trace:<file>; the path is carried in Spec.Path, not Params, and is
+	// the only scenario input whose case is preserved. Draws nothing from
+	// the RNG, so replay is deterministic by construction — a trace
+	// captured from a live lbserved session re-runs byte-identically as a
+	// grid dimension.
+	Trace
 
 	// kindCount counts the kinds above. A new Kind constant must be
 	// inserted before it (and given a name/description/parser arm), or the
@@ -83,6 +91,8 @@ func (k Kind) String() string {
 		return "edge-churn"
 	case PeriodicFailures:
 		return "periodic-failures"
+	case Trace:
+		return "trace"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -129,6 +139,7 @@ func Descriptions() [][2]string {
 		{"hotspot-drift[:rate[:period]]", "feed a drifting hotspot rate·load per round; it walks to a random neighbor every period rounds (defaults 0.02, 4)"},
 		{"edge-churn[:p]", "every edge fails independently with probability p each round (default 0.1)"},
 		{"periodic-failures[:period[:count]]", "count random edges fail for each period-round stretch (defaults 8, 2)"},
+		{"trace:<file.jsonl>", "replay a recorded arrival trace (JSONL {\"k\",\"node\",\"amt\"} events) round-for-round"},
 	}
 }
 
@@ -142,6 +153,10 @@ const DefaultHorizon = 512
 type Spec struct {
 	Kind   Kind
 	Params []float64
+	// Path is the trace file for Kind == Trace ("" otherwise). Unlike
+	// every other scenario input it is case-preserved — it names a real
+	// file.
+	Path string
 }
 
 // paramDef describes one parameter's name, default and validity range.
@@ -189,10 +204,22 @@ func (k Kind) params() []paramDef {
 // applied and parameters validated. The canonical form is Spec.String();
 // Parse∘String is the identity on canonical forms.
 func Parse(s string) (Spec, error) {
-	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), ":")
+	raw := strings.TrimSpace(s)
+	// trace:<file> carries a filesystem path, matched before the
+	// lowercasing below so the path's case survives.
+	if path, ok := strings.CutPrefix(raw, "trace:"); ok {
+		if err := checkTracePath(path); err != nil {
+			return Spec{}, err
+		}
+		return Spec{Kind: Trace, Path: path}, nil
+	}
+	parts := strings.Split(strings.ToLower(raw), ":")
 	kind, err := ParseKind(parts[0])
 	if err != nil {
 		return Spec{}, err
+	}
+	if kind == Trace {
+		return Spec{}, fmt.Errorf("scenario: trace needs a file path (trace:<file.jsonl>)")
 	}
 	defs := kind.params()
 	if len(parts)-1 > len(defs) {
@@ -215,6 +242,20 @@ func Parse(s string) (Spec, error) {
 	return Spec{Kind: kind, Params: params}, nil
 }
 
+// checkTracePath rejects trace paths that could not survive the pipeline:
+// empty (no file named), commas (the CLI splits scenario lists on them),
+// and whitespace/control characters (journals and emitted shell plans
+// carry the canonical string unquoted).
+func checkTracePath(path string) error {
+	if path == "" {
+		return fmt.Errorf("scenario: trace needs a file path (trace:<file.jsonl>)")
+	}
+	if i := strings.IndexFunc(path, func(r rune) bool { return r == ',' || r <= ' ' }); i >= 0 {
+		return fmt.Errorf("scenario: trace path %q may not contain commas, whitespace or control characters", path)
+	}
+	return nil
+}
+
 // check validates one parameter value against its schema.
 func (d paramDef) check(k Kind, v float64) error {
 	if v < d.min {
@@ -233,6 +274,9 @@ func (d paramDef) check(k Kind, v float64) error {
 // (defaults included) ':'-joined, so equal scenarios have equal strings and
 // a journal column names the exact process that ran.
 func (s Spec) String() string {
+	if s.Kind == Trace {
+		return "trace:" + s.Path
+	}
 	if len(s.Params) == 0 {
 		return s.Kind.String()
 	}

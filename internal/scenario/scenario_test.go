@@ -44,7 +44,16 @@ func TestWorkloadRegistryRoundTrip(t *testing.T) {
 // TestParseCanonicalRoundTrip: Parse∘String is the identity, defaults
 // included, for every registered kind and for explicit parameters.
 func TestParseCanonicalRoundTrip(t *testing.T) {
-	cases := append(Names(),
+	var cases []string
+	for _, name := range Names() {
+		if name == "trace" {
+			// The bare kind name is not parseable — trace always carries
+			// a path, case preserved.
+			name = "trace:testdata/Events.jsonl"
+		}
+		cases = append(cases, name)
+	}
+	cases = append(cases,
 		"poisson-arrivals:0.05", "bursty:32:0.5", "adversarial-respike:4:1",
 		"hotspot-drift:0.1:2", "edge-churn:0.25", "periodic-failures:16:3",
 		"  Adversarial-Respike  ", "bursty:32")
@@ -68,6 +77,7 @@ func TestParseRejects(t *testing.T) {
 	for _, in := range []string{
 		"", "wat", "static:1", "poisson-arrivals:0", "poisson-arrivals:x",
 		"bursty:1.5", "edge-churn:2", "bursty:8:0.5:9", "periodic-failures:0",
+		"trace", "trace:", "trace:a,b.jsonl", "trace:has space.jsonl",
 	} {
 		if _, err := Parse(in); err == nil {
 			t.Errorf("Parse(%q) accepted", in)
@@ -81,6 +91,7 @@ func TestDescriptionsCoverEveryKind(t *testing.T) {
 	desc := map[string]bool{}
 	for _, d := range Descriptions() {
 		base := strings.SplitN(d[0], "[", 2)[0]
+		base = strings.SplitN(base, ":", 2)[0] // trace:<file.jsonl> → trace
 		desc[base] = true
 	}
 	for _, name := range Names() {

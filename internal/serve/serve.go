@@ -1,0 +1,482 @@
+// Package serve keeps a balancer hot: a long-lived core.Session advanced
+// round-by-round on a wall-clock cadence, fed by live HTTP arrivals
+// (POST /arrive) and/or a recorded trace replayed at a controllable
+// speed-up, observable through GET /metrics and /healthz, and drained
+// gracefully on shutdown. Every arrival the server injects can be recorded
+// through a scenario.TraceWriter, so a served workload becomes a
+// first-class trace:<file> scenario that re-runs byte-identically through
+// the batch grid — the bridge between "production" traffic and the
+// paper's reproducible experiments.
+//
+// Concurrency model: one goroutine (Run's round loop) owns the session;
+// HTTP handlers only append to the pending arrival queue and read
+// metrics, both under a single mutex held for O(1) or O(n)-copy work —
+// never across a balancing round's floating-point chain. Arrivals are
+// injected mid-round (after the round's transfers, before the potential
+// is observed), exactly where the scenario engine injects, which is what
+// makes recorded traces replay exactly.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Config is the balancer instance: graph, algorithm, mode, initial
+	// loads, epsilon, seed, round workers. Validated by core.Open.
+	Config core.Config
+	// Addr is the listen address (e.g. ":8080"; ":0" picks a free port,
+	// see Server.URL).
+	Addr string
+	// Interval paces the round loop: one balancing round per Interval.
+	// Zero or negative free-runs (as fast as the hardware allows).
+	Interval time.Duration
+	// Replay holds a recorded arrival trace to inject round-for-round
+	// (events at round k land during round k+1, like every scenario).
+	// Replay ends when the events run out; the server keeps balancing.
+	Replay []scenario.Event
+	// Record, when set, receives every injected arrival as a trace event.
+	// Run flushes it on shutdown; the caller owns Close.
+	Record *scenario.TraceWriter
+	// DrainTimeout bounds the graceful drain (default 30s); DrainMaxRounds
+	// bounds its rounds (default 4096). Drain stops early once Φ falls
+	// under the drain target (ε·peak, or the session target if higher).
+	DrainTimeout   time.Duration
+	DrainMaxRounds int
+	// Logf, when set, receives one-line progress logs.
+	Logf func(format string, args ...any)
+}
+
+// Server is a live balancing session behind an HTTP surface. Create with
+// New, then either call Run (round loop + HTTP server + graceful drain)
+// or drive rounds manually with StepRound against Handler (tests do).
+type Server struct {
+	opts Options
+
+	mu       sync.Mutex
+	sess     *core.Session
+	pending  []scenario.Arrival
+	draining bool
+	cursor   int // next Replay event to inject
+
+	arrivalsTotal int64
+	loadInjected  float64
+	roundTimes    []time.Time // ring buffer of recent round completions
+	timesNext     int
+	start         time.Time
+
+	addr net.Addr // set once Run is listening
+}
+
+// Backlog summarizes the per-node queue depths.
+type Backlog struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// Metrics is the GET /metrics document.
+type Metrics struct {
+	Round           int     `json:"round"`
+	Phi             float64 `json:"phi"`
+	PhiStart        float64 `json:"phi_start"`
+	PeakPhi         float64 `json:"peak_phi"`
+	Target          float64 `json:"target"`
+	Converged       bool    `json:"converged"`
+	RebalanceRounds int     `json:"rebalance_rounds"`
+	SteadyRMS       float64 `json:"steady_rms"`
+	RoundsPerSec    float64 `json:"rounds_per_sec"`
+	ArrivalsTotal   int64   `json:"arrivals_total"`
+	LoadInjected    float64 `json:"load_injected"`
+	Pending         int     `json:"pending"`
+	ReplayPending   int     `json:"replay_pending"`
+	Draining        bool    `json:"draining"`
+	UptimeSec       float64 `json:"uptime_sec"`
+	Backlog         Backlog `json:"backlog"`
+	// Nodes is the full per-node queue depth vector, included while the
+	// graph is small enough to serve inline (n ≤ 1024).
+	Nodes []float64 `json:"nodes,omitempty"`
+}
+
+// New opens the session and validates the replay trace against it.
+func New(opts Options) (*Server, error) {
+	sess, err := core.Open(opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	n := opts.Config.Graph.N()
+	for _, e := range opts.Replay {
+		if e.Node >= n {
+			return nil, fmt.Errorf("serve: replay event at round %d targets node %d but the graph has %d nodes", e.Round, e.Node, n)
+		}
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 30 * time.Second
+	}
+	if opts.DrainMaxRounds <= 0 {
+		opts.DrainMaxRounds = 4096
+	}
+	return &Server{
+		opts:       opts,
+		sess:       sess,
+		roundTimes: make([]time.Time, 0, 128),
+		start:      time.Now(),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// StepRound advances the session one balancing round: replay events due
+// this round and all queued HTTP arrivals are injected mid-round (and
+// recorded, when recording), then the round commits. Returns the new Φ.
+func (s *Server) StepRound() (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	k := s.sess.Rounds() // this round's scenario index
+	var arrivals []scenario.Arrival
+	if !s.draining {
+		for s.cursor < len(s.opts.Replay) && s.opts.Replay[s.cursor].Round <= k {
+			if e := s.opts.Replay[s.cursor]; e.Round == k {
+				arrivals = append(arrivals, scenario.Arrival{Node: e.Node, Amount: e.Amount})
+			}
+			s.cursor++
+		}
+	}
+	arrivals = append(arrivals, s.pending...)
+	s.pending = s.pending[:0]
+
+	if err := s.sess.Step(); err != nil {
+		return 0, err
+	}
+	total, err := s.sess.Inject(arrivals)
+	if err != nil {
+		return 0, err
+	}
+	phi, err := s.sess.Commit()
+	if err != nil {
+		return 0, err
+	}
+
+	if s.opts.Record != nil {
+		for _, a := range arrivals {
+			if err := s.opts.Record.Append(scenario.Event{Round: k, Node: a.Node, Amount: a.Amount}); err != nil {
+				return 0, fmt.Errorf("serve: recording: %w", err)
+			}
+		}
+	}
+	s.arrivalsTotal += int64(len(arrivals))
+	s.loadInjected += total
+	if len(s.roundTimes) < cap(s.roundTimes) {
+		s.roundTimes = append(s.roundTimes, time.Now())
+	} else {
+		s.roundTimes[s.timesNext] = time.Now()
+	}
+	s.timesNext = (s.timesNext + 1) % cap(s.roundTimes)
+	return phi, nil
+}
+
+// Metrics returns the current metrics document.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	sm := s.sess.Metrics()
+	loads := s.sess.Snapshot()
+	m := Metrics{
+		Round:           sm.Rounds,
+		Phi:             sm.Phi,
+		PhiStart:        sm.PhiStart,
+		PeakPhi:         sm.PeakPhi,
+		Target:          sm.Target,
+		Converged:       sm.Converged,
+		RebalanceRounds: sm.RebalanceRounds,
+		SteadyRMS:       sm.SteadyRMS,
+		RoundsPerSec:    s.roundsPerSecLocked(),
+		ArrivalsTotal:   s.arrivalsTotal,
+		LoadInjected:    s.loadInjected,
+		Pending:         len(s.pending),
+		ReplayPending:   len(s.opts.Replay) - s.cursor,
+		Draining:        s.draining,
+		UptimeSec:       time.Since(s.start).Seconds(),
+	}
+	s.mu.Unlock()
+
+	// The O(n log n) percentile work happens outside the lock, on the
+	// snapshot copy.
+	m.Backlog = backlog(loads)
+	if len(loads) <= 1024 {
+		m.Nodes = loads
+	}
+	return m
+}
+
+// roundsPerSecLocked estimates the recent round rate from the completion
+// ring buffer.
+func (s *Server) roundsPerSecLocked() float64 {
+	k := len(s.roundTimes)
+	if k < 2 {
+		return 0
+	}
+	// Oldest entry: the next slot to be overwritten once the ring is
+	// full, index 0 before that.
+	oldest := 0
+	if k == cap(s.roundTimes) {
+		oldest = s.timesNext
+	}
+	newest := (s.timesNext + cap(s.roundTimes) - 1) % cap(s.roundTimes)
+	if k < cap(s.roundTimes) {
+		newest = k - 1
+	}
+	span := s.roundTimes[newest].Sub(s.roundTimes[oldest]).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(k-1) / span
+}
+
+// backlog computes the queue-depth summary of one load snapshot.
+func backlog(loads []float64) Backlog {
+	if len(loads) == 0 {
+		return Backlog{}
+	}
+	sorted := make([]float64, len(loads))
+	copy(sorted, loads)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pick := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	return Backlog{
+		Mean: sum / float64(len(sorted)),
+		P50:  pick(0.50),
+		P90:  pick(0.90),
+		P99:  pick(0.99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// arriveRequest is one POST /arrive item.
+type arriveRequest struct {
+	Node   int     `json:"node"`
+	Amount float64 `json:"amt"`
+}
+
+// Handler returns the HTTP surface: POST /arrive, GET /metrics,
+// GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/arrive", s.handleArrive)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		round, draining := s.sess.Rounds(), s.draining
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "round": round, "draining": draining})
+	})
+	return mux
+}
+
+// handleArrive queues arrivals for the next round. The body is one JSON
+// object {"node":i,"amt":x} or an array of them; amounts must be positive
+// and finite, nodes in range. During drain ingest is refused with 503.
+func (s *Server) handleArrive(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad JSON: %v", err)})
+		return
+	}
+	var reqs []arriveRequest
+	if len(raw) > 0 && raw[0] == '[' {
+		if err := json.Unmarshal(raw, &reqs); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad JSON array: %v", err)})
+			return
+		}
+	} else {
+		var one arriveRequest
+		if err := json.Unmarshal(raw, &one); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad JSON object: %v", err)})
+			return
+		}
+		reqs = []arriveRequest{one}
+	}
+	n := s.opts.Config.Graph.N()
+	for _, a := range reqs {
+		if a.Node < 0 || a.Node >= n {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("node %d out of range [0,%d)", a.Node, n)})
+			return
+		}
+		if !(a.Amount > 0) || math.IsInf(a.Amount, 0) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("amount %v must be positive and finite", a.Amount)})
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "draining"})
+		return
+	}
+	for _, a := range reqs {
+		s.pending = append(s.pending, scenario.Arrival{Node: a.Node, Amount: a.Amount})
+	}
+	round := s.sess.Rounds()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]any{"queued": len(reqs), "round": round})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// URL returns the server's base URL once Run is listening ("" before).
+func (s *Server) URL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.addr == nil {
+		return ""
+	}
+	return "http://" + s.addr.String()
+}
+
+// Run serves HTTP and paces the round loop until ctx is cancelled, then
+// drains: ingest stops (503), the loop free-runs until Φ reaches the drain
+// target (ε·peak, or the session target if higher) or the drain budget is
+// spent, the recorder is flushed, and the HTTP server shuts down. Returns
+// nil on a clean drain — the daemon's graceful SIGTERM exit.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	s.mu.Lock()
+	s.addr = ln.Addr()
+	s.mu.Unlock()
+	hs := &http.Server{Handler: s.Handler()}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+	}()
+	s.logf("listening on http://%s (interval %v, replay %d events)", ln.Addr(), s.opts.Interval, len(s.opts.Replay))
+
+	var tickC <-chan time.Time
+	if s.opts.Interval > 0 {
+		tick := time.NewTicker(s.opts.Interval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+
+	runErr := func() error {
+		for {
+			select {
+			case <-ctx.Done():
+				return nil
+			case err := <-httpErr:
+				return err
+			default:
+			}
+			if tickC != nil {
+				select {
+				case <-ctx.Done():
+					return nil
+				case err := <-httpErr:
+					return err
+				case <-tickC:
+				}
+			}
+			if _, err := s.StepRound(); err != nil {
+				return err
+			}
+		}
+	}()
+
+	if runErr == nil {
+		runErr = s.drain()
+	}
+	if s.opts.Record != nil {
+		if err := s.opts.Record.Flush(); err != nil && runErr == nil {
+			runErr = fmt.Errorf("serve: flushing recording: %w", err)
+		}
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && runErr == nil {
+		runErr = err
+	}
+	return runErr
+}
+
+// drain free-runs rounds with ingest stopped until Φ reaches the drain
+// target or the drain budget (rounds or wall clock) is spent. Arrivals
+// queued before the drain began are still injected — they were accepted.
+func (s *Server) drain() error {
+	s.mu.Lock()
+	s.draining = true
+	eps := s.sess.Config().Epsilon
+	target := eps * s.sess.Metrics().PeakPhi
+	if t := s.sess.Target(); t > target {
+		target = t
+	}
+	phi := s.sess.Phi()
+	s.mu.Unlock()
+
+	s.logf("draining: Φ %.6g → target %.6g (≤ %d rounds, ≤ %v)",
+		phi, target, s.opts.DrainMaxRounds, s.opts.DrainTimeout)
+	deadline := time.Now().Add(s.opts.DrainTimeout)
+	rounds := 0
+	for phi > target && rounds < s.opts.DrainMaxRounds && time.Now().Before(deadline) {
+		var err error
+		if phi, err = s.StepRound(); err != nil {
+			return err
+		}
+		rounds++
+	}
+	s.logf("drained: Φ %.6g after %d drain rounds", phi, rounds)
+	return nil
+}
+
+// Close seals the session and returns the run's Result (the same report a
+// batch run of the whole ingested workload would produce).
+func (s *Server) Close() core.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.Close()
+}

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/scenario"
+)
+
+func testConfig(t *testing.T) core.Config {
+	t.Helper()
+	g := graph.Torus(4, 4)
+	return core.Config{
+		Graph:     g,
+		Algorithm: core.Diffusion,
+		Mode:      core.Continuous,
+		Loads:     make([]float64, g.N()),
+		Epsilon:   1e-3,
+		Seed:      7,
+	}
+}
+
+func testTrace(t *testing.T) []scenario.Event {
+	t.Helper()
+	return []scenario.Event{
+		{Round: 0, Node: 3, Amount: 5000},
+		{Round: 0, Node: 11, Amount: 125.5},
+		{Round: 4, Node: 0, Amount: 9000},
+		{Round: 9, Node: 15, Amount: 640},
+	}
+}
+
+// TestReplayMatchesSessionDrive: the served replay path must reproduce the
+// scenario engine's injection point exactly — the Φ trajectory and final
+// load vector of a replayed trace are bit-identical to driving a
+// core.Session by hand with the same events, and to core.Balance running
+// the same file as a trace:<file> scenario. It also closes the
+// record→replay loop: what the server records while replaying is
+// byte-identical to the trace it was fed.
+func TestReplayMatchesSessionDrive(t *testing.T) {
+	const rounds = 24
+	events := testTrace(t)
+	cfg := testConfig(t)
+
+	var recorded bytes.Buffer
+	rec := scenario.NewTraceWriter(&recorded)
+	srv, err := New(Options{Config: cfg, Replay: events, Record: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotPhi []float64
+	for i := 0; i < rounds; i++ {
+		phi, err := srv.StepRound()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotPhi = append(gotPhi, phi)
+	}
+
+	// Reference: the same events through the raw Session API.
+	ref, err := core.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantPhi []float64
+	for k := 0; k < rounds; k++ {
+		var arr []scenario.Arrival
+		for _, e := range events {
+			if e.Round == k {
+				arr = append(arr, scenario.Arrival{Node: e.Node, Amount: e.Amount})
+			}
+		}
+		if err := ref.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Inject(arr); err != nil {
+			t.Fatal(err)
+		}
+		phi, err := ref.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPhi = append(wantPhi, phi)
+	}
+	for i := range wantPhi {
+		if gotPhi[i] != wantPhi[i] {
+			t.Fatalf("round %d: served Φ %v != session Φ %v", i+1, gotPhi[i], wantPhi[i])
+		}
+	}
+	m := srv.Metrics()
+	wantLoads := ref.Loads()
+	if len(m.Nodes) != len(wantLoads) {
+		t.Fatalf("metrics nodes len %d, want %d", len(m.Nodes), len(wantLoads))
+	}
+	for i := range wantLoads {
+		if m.Nodes[i] != wantLoads[i] {
+			t.Fatalf("node %d: served load %v != session load %v", i, m.Nodes[i], wantLoads[i])
+		}
+	}
+
+	// The same file as a grid scenario: Balance(trace:<file>) must agree on
+	// the lifetime peak and final potential.
+	path := t.TempDir() + "/trace.jsonl"
+	tw, err := scenario.CreateTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := tw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := scenario.Parse("trace:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := cfg
+	bcfg.Scenario = sp
+	bcfg.MaxRounds = rounds
+	res, err := core.Balance(bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakPhi != m.PeakPhi {
+		t.Fatalf("Balance(trace) peak Φ %v != served peak Φ %v", res.PeakPhi, m.PeakPhi)
+	}
+	if res.PhiEnd != m.Phi {
+		t.Fatalf("Balance(trace) final Φ %v != served Φ %v", res.PhiEnd, m.Phi)
+	}
+
+	// Record→replay round trip: the recording of the replay is the trace.
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recorded.Bytes(), committed) {
+		t.Fatalf("re-recorded trace differs from source:\n got %q\nwant %q", recorded.String(), committed)
+	}
+}
+
+// TestHandlerIngest: the HTTP surface — single and batched arrivals are
+// queued and injected next round, malformed requests are rejected, metrics
+// and health are served.
+func TestHandlerIngest(t *testing.T) {
+	srv, err := New(Options{Config: testConfig(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/arrive", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post(`{"node":3,"amt":100}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("single arrival: status %d", resp.StatusCode)
+	}
+	if resp := post(`[{"node":0,"amt":1},{"node":15,"amt":2.5}]`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch arrival: status %d", resp.StatusCode)
+	}
+	for _, bad := range []string{
+		`{"node":99,"amt":1}`,                      // node out of range
+		`{"node":0,"amt":0}`,                       // non-positive amount
+		`{"node":0,"amt":-3}`,                      // negative amount
+		`{"node":-1,"amt":1}`,                      // negative node
+		`not json`,                                 // garbage
+		`[{"node":0,"amt":1},{"node":99,"amt":1}]`, // batch with one bad item
+	} {
+		if resp := post(bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/arrive"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET /arrive: status %d, want 405", resp.StatusCode)
+		}
+	}
+
+	if _, err := srv.StepRound(); err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m.ArrivalsTotal != 3 {
+		t.Fatalf("arrivals_total = %d, want 3", m.ArrivalsTotal)
+	}
+	if m.LoadInjected != 103.5 {
+		t.Fatalf("load_injected = %v, want 103.5", m.LoadInjected)
+	}
+	if m.Round != 1 || m.Pending != 0 {
+		t.Fatalf("round %d pending %d, want 1 and 0", m.Round, m.Pending)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK    bool `json:"ok"`
+		Round int  `json:"round"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.OK || health.Round != 1 {
+		t.Fatalf("healthz = %+v", health)
+	}
+}
+
+// TestRunDrains: Run serves HTTP, accepts an arrival, and returns nil — a
+// clean graceful drain — once its context is cancelled.
+func TestRunDrains(t *testing.T) {
+	srv, err := New(Options{
+		Config:         testConfig(t),
+		Addr:           "127.0.0.1:0",
+		DrainTimeout:   10 * time.Second,
+		DrainMaxRounds: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.URL() == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Post(srv.URL()+"/arrive", "application/json", strings.NewReader(`{"node":5,"amt":2000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("arrival during run: status %d", resp.StatusCode)
+	}
+	// Let the free-running loop inject and balance a little.
+	for {
+		if m := srv.Metrics(); m.ArrivalsTotal >= 1 && m.Round >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("round loop never injected the arrival")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v, want nil (clean drain)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	m := srv.Metrics()
+	if !m.Draining {
+		t.Error("metrics does not report drained state")
+	}
+	if m.Phi > m.Target && m.Phi > m.PeakPhi*srv.opts.Config.Epsilon {
+		t.Errorf("drain left Φ %v above target %v and ε·peak %v", m.Phi, m.Target, m.PeakPhi*srv.opts.Config.Epsilon)
+	}
+}
+
+// TestReplayValidation: a replay trace targeting nodes outside the graph is
+// rejected at construction.
+func TestReplayValidation(t *testing.T) {
+	cfg := testConfig(t)
+	_, err := New(Options{Config: cfg, Replay: []scenario.Event{{Round: 0, Node: 16, Amount: 1}}})
+	if err == nil {
+		t.Fatal("accepted a replay event beyond the graph")
+	}
+}
