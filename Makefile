@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate large-n-smoke round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke serve-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate large-n-smoke round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke steal-smoke ssh-smoke scenario-smoke serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -134,6 +134,62 @@ orchestrator-smoke:
 	grep -q "restarting with -resume" /tmp/lbbench-orch.log || \
 		echo "note: shard 2 finished before the kill — no restart needed"
 
+# Work stealing under fire, mirroring CI's steal-smoke: SIGSTOP one shard
+# subprocess mid-run — a wedged process the launcher cannot see die. The
+# supervisor must declare it stalled, SIGKILL it, carve its unstarted
+# units into stolen sub-shards on idle slots, and still merge
+# byte-identical to the single-process sweep. The grid forces fixed round
+# counts (eps below reach) so units are uniform and healthy shards stay
+# far inside the steal threshold.
+STEAL_ARGS = -grid -topos torus,hypercube -algos diffusion,randpair \
+	-modes continuous -loads spike,uniform \
+	-n 4096 -seeds 1,2,3,4,5,6 -eps 1e-12 -rounds 4096 \
+	-parallel 1 -format csv
+
+steal-smoke:
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	rm -rf /tmp/lbbench-stealsweep
+	LB_SPECCACHE_DIR=/tmp/lbbench-speccache /tmp/lbbench $(STEAL_ARGS) > /tmp/lbbench-steal-full.csv
+	LB_SPECCACHE_DIR=/tmp/lbbench-speccache /tmp/lbbench $(STEAL_ARGS) -spawn 3 -out /tmp/lbbench-stealsweep \
+		-steal-after 5s -progress 250ms > /tmp/lbbench-steal-merged.csv 2> /tmp/lbbench-steal.log & \
+	opid=$$!; \
+	for i in $$(seq 1 600); do \
+		{ [ -f /tmp/lbbench-stealsweep/shard-1.jsonl ] && [ "$$(wc -l < /tmp/lbbench-stealsweep/shard-1.jsonl)" -ge 3 ]; } && break; \
+		kill -0 $$opid 2>/dev/null || break; \
+		sleep 0.05; \
+	done; \
+	cpid=$$(pgrep -f -- '-shard [1]/3' | head -1); \
+	if [ -n "$$cpid" ]; then echo "SIGSTOPping shard 1/3 (pid $$cpid)"; kill -STOP $$cpid; fi; \
+	wait $$opid; \
+	cmp /tmp/lbbench-steal-full.csv /tmp/lbbench-steal-merged.csv; \
+	if [ -n "$$cpid" ]; then \
+		grep -q "stolen sub-shard" /tmp/lbbench-steal.log && \
+		head -1 /tmp/lbbench-stealsweep/shard-1-steal-1.jsonl | grep -q '"origin":"steal:s1"'; \
+	else echo "note: shard 1 finished before the stop — stealing degrades to a plain run"; fi
+
+# The ssh launcher against real ssh, mirroring CI's ssh-smoke. Requires
+# passwordless `ssh localhost` (CI provisions a key for the runner);
+# -remote-dir keeps the remote journal off the fetch path, which matters
+# when "remote" shares the local filesystem.
+ssh-smoke:
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	$(GO) build -o /tmp/lborch ./cmd/lborch
+	@if ! ssh -o BatchMode=yes -o ConnectTimeout=5 localhost true 2>/dev/null; then \
+		echo "ssh-smoke needs passwordless 'ssh localhost' — skipping" >&2; exit 0; \
+	fi; \
+	set -e; \
+	rm -rf /tmp/lbbench-sshsweep /tmp/lbbench-sshremote; \
+	/tmp/lbbench -grid $(SSH_ARGS) -parallel 1 > /tmp/lbbench-ssh-full.csv; \
+	/tmp/lborch -m 2 $(SSH_ARGS) -out /tmp/lbbench-sshsweep \
+		-launcher ssh -hosts localhost,localhost \
+		-remote-cmd /tmp/lbbench -remote-dir /tmp/lbbench-sshremote \
+		-progress 250ms > /tmp/lbbench-ssh-merged.csv 2> /tmp/lbbench-ssh.log; \
+	cmp /tmp/lbbench-ssh-full.csv /tmp/lbbench-ssh-merged.csv
+
+SSH_ARGS = -topos torus,hypercube -algos diffusion,randpair \
+	-modes continuous -loads spike,uniform \
+	-n 1024 -seeds 1,2,3 -eps 1e-12 -rounds 512 -format csv
+
 # The scenario dimension rides the whole pipeline with zero special cases:
 # a grid with static + adversarial + stochastic-arrival scenarios must be
 # byte-identical across worker counts, and an orchestrator-spawned 3-shard
@@ -201,4 +257,4 @@ serve-smoke:
 # quiet machine to be meaningful (CI's bench-trajectory job runs it on the
 # dedicated runner). Run `make bench-gate` before committing perf-sensitive
 # changes.
-ci: build vet fmt-check staticcheck test bench round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke scenario-smoke serve-smoke
+ci: build vet fmt-check staticcheck test bench round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke steal-smoke ssh-smoke scenario-smoke serve-smoke

@@ -113,11 +113,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/orchestrator"
@@ -140,38 +140,27 @@ const (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		seed     = flag.Int64("seed", 1, "seed for randomized components (experiment mode)")
-		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables (experiment mode)")
-		list     = flag.Bool("list", false, "list registered experiments, topologies, algorithms, modes, workloads and scenarios, then exit")
-		parallel = flag.Int("parallel", 0, "worker-pool width for sweeps (0 = GOMAXPROCS)")
+		exp   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		seed  = flag.Int64("seed", 1, "seed for randomized components (experiment mode)")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables (experiment mode)")
+		list  = flag.Bool("list", false, "list registered experiments, topologies, algorithms, modes, workloads and scenarios, then exit")
 
-		roundWorkers = flag.String("round-workers", "1", "round-level workers inside every stepper's node loops: a number, or 'auto' to split GOMAXPROCS between unit- and round-level fan-out from the grid shape (results are byte-identical for any value)")
-
-		grid      = flag.Bool("grid", false, "run a declarative sweep grid instead of the experiment tables")
-		topos     = flag.String("topos", "cycle,torus,hypercube", "grid: comma-separated topology names")
-		algos     = flag.String("algos", "diffusion,dimexchange,randpair", "grid: comma-separated algorithm names")
-		modes     = flag.String("modes", "continuous", "grid: comma-separated load modes (continuous,discrete)")
-		loads     = flag.String("loads", "spike,uniform", "grid: comma-separated workload kinds")
-		scenarios = flag.String("scenarios", "static", "grid: comma-separated scenarios (time-varying arrivals / adversarial spikes / topology churn; see -list)")
-		n         = flag.Int("n", 64, "grid: approximate node count per topology")
-		seeds     = flag.String("seeds", "1", "grid: comma-separated repetition seeds")
-		scale     = flag.Float64("scale", 1e6, "grid: load magnitude")
-		eps       = flag.Float64("eps", 1e-3, "grid: convergence target Φ ≤ ε·Φ⁰")
-		rounds    = flag.Int("rounds", 0, "grid: round cap per unit (0 = theorem-derived default)")
-		format    = flag.String("format", "table", "grid: output format (table, csv, json)")
+		grid    = flag.Bool("grid", false, "run a declarative sweep grid instead of the experiment tables")
+		gridDef = cliflags.RegisterGrid(flag.CommandLine)
+		output  = cliflags.RegisterOutput(flag.CommandLine)
 
 		out        = flag.String("out", "", "grid: stream finished cells to this JSONL journal (a directory with -spawn; resumable with -resume)")
 		resume     = flag.String("resume", "", "grid: replay completed cells from this JSONL journal, re-run only the rest (requires -out)")
 		shard      = flag.String("shard", "", "run only shard i of m, format i/m (grid sweeps and experiment sweeps)")
+		units      = flag.String("units", "", "grid: restrict the run to the half-open unit window lo:hi of the expansion ('lo:' for the unbounded tail) — composes with -shard; how the work-stealing supervisor assigns stolen sub-ranges")
+		origin     = flag.String("origin", "", "grid: record this provenance string in the -out journal's header (the supervisor tags stolen sub-range journals)")
 		merge      = flag.String("merge", "", "grid: comma-separated per-shard JSONL journals to merge into one report (instead of -resume)")
-		streamAgg  = flag.Bool("stream-agg", false, "grid: streaming-only aggregation — fold aggregates and per-dimension marginals incrementally, never materializing cells")
 		cacheStats = flag.Bool("cache-stats", false, "print shared spectral-cache statistics to stderr on exit")
 
-		spawn      = flag.Int("spawn", 0, "grid: orchestrate the sweep as this many local shard subprocesses (plan, spawn, supervise, merge; journals under the -out directory)")
+		spawn      = flag.Int("spawn", 0, "grid: orchestrate the sweep as this many shard attempts (plan, launch, supervise, merge; journals under the -out directory)")
 		emitMatrix = flag.String("emit-matrix", "", "grid: with -spawn m, print the shard plan as a CI/cluster fan-out (github, slurm, shell) instead of running it")
-		retries    = flag.Int("retries", 3, "orchestrator: max restarts per dead shard before giving up")
+		launch     = cliflags.RegisterLaunch(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -182,37 +171,41 @@ func main() {
 	// Contradictory flag combinations and nonsense counts are refused here,
 	// with their own exit codes, before any journal file could be created or
 	// truncated — a typo'd orchestration must never cost a partial journal.
-	if msg, code := checkFlagCombos(*grid, *spawn, *emitMatrix, *shard, *resume, *out, *merge); code != 0 {
+	if msg, code := checkFlagCombos(*grid, *spawn, *emitMatrix, *shard, *resume, *out, *merge, *units, *origin, launch); code != 0 {
 		fmt.Fprintf(os.Stderr, "lbbench: %s\n", msg)
 		os.Exit(code)
 	}
-	shardI, shardM, err := parseShard(*shard)
+	shardI, shardM, err := cliflags.ParseShard(*shard)
 	if err != nil {
 		code := exitUsage
-		if errors.Is(err, errShardRange) {
+		if errors.Is(err, cliflags.ErrShardRange) {
 			code = exitBadCount
 		}
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		os.Exit(code)
 	}
-	rw, err := parseRoundWorkers(*roundWorkers)
+	unitLo, unitHi, err := cliflags.ParseUnits(*units)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		os.Exit(exitUsage)
+	}
+	rw, err := cliflags.ParseRoundWorkers(gridDef.RoundWorkers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		os.Exit(exitUsage)
 	}
 	gf := gridFlags{
-		topos: *topos, algos: *algos, modes: *modes, loads: *loads,
-		scenarios: *scenarios,
-		seeds:     *seeds, n: *n, scale: *scale, eps: *eps, rounds: *rounds,
-		workers: *parallel, roundWorkers: rw,
-		format: *format, out: *out, resume: *resume,
-		shardI: shardI, shardM: shardM, merge: *merge,
-		streamAgg: *streamAgg, gridSet: *grid,
+		grid:   gridDef,
+		format: output.Format, out: *out, resume: *resume,
+		shardI: shardI, shardM: shardM,
+		unitLo: unitLo, unitHi: unitHi, origin: *origin,
+		merge:     *merge,
+		streamAgg: output.StreamAgg, gridSet: *grid,
 	}
 	var code int
 	switch {
 	case *spawn > 0:
-		code = runSpawn(gf, *spawn, *emitMatrix, *retries)
+		code = runSpawn(gf, *spawn, *emitMatrix, launch)
 	case *grid || *merge != "":
 		code = runGrid(gf)
 	default:
@@ -220,7 +213,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lbbench: -round-workers auto needs a grid shape to tune from — pass a number in experiment mode")
 			os.Exit(exitUsage)
 		}
-		code = runExperiments(*exp, *seed, *quick, *csv, *parallel, rw, shardI, shardM)
+		code = runExperiments(*exp, *seed, *quick, *csv, gridDef.Parallel, rw, shardI, shardM)
 	}
 	if *cacheStats {
 		fmt.Fprintf(os.Stderr, "lbbench: speccache: %s\n", speccache.Shared().Stats())
@@ -231,7 +224,7 @@ func main() {
 // checkFlagCombos rejects contradictory flag combinations (exitConflict)
 // and out-of-range counts (exitBadCount) up front. Returns code 0 when the
 // combination is coherent.
-func checkFlagCombos(grid bool, spawn int, emitMatrix, shard, resume, out, merge string) (string, int) {
+func checkFlagCombos(grid bool, spawn int, emitMatrix, shard, resume, out, merge, units, origin string, launch *cliflags.Launch) (string, int) {
 	switch {
 	case spawn < 0:
 		return fmt.Sprintf("-spawn %d: shard count must be positive", spawn), exitBadCount
@@ -239,6 +232,8 @@ func checkFlagCombos(grid bool, spawn int, emitMatrix, shard, resume, out, merge
 		return "-spawn orchestrates grid sweeps — pass -grid with the sweep's flags", exitConflict
 	case spawn > 0 && shard != "":
 		return "-spawn and -shard conflict: the orchestrator owns the shard split (its children get -shard)", exitConflict
+	case spawn > 0 && units != "":
+		return "-spawn and -units conflict: the orchestrator owns the unit windows (its stolen sub-shards get -units)", exitConflict
 	case spawn > 0 && resume != "":
 		return "-spawn and -resume conflict: the orchestrator resumes each shard from its own journal automatically", exitConflict
 	case spawn > 0 && merge != "":
@@ -249,6 +244,12 @@ func checkFlagCombos(grid bool, spawn int, emitMatrix, shard, resume, out, merge
 		return "-emit-matrix needs -spawn m to size the shard split", exitConflict
 	case emitMatrix != "" && emitMatrix != "github" && emitMatrix != "slurm" && emitMatrix != "shell":
 		return fmt.Sprintf("unknown -emit-matrix %q (want %s)", emitMatrix, orchestrator.EmitFormats), exitUsage
+	case units != "" && !grid:
+		return "-units windows grid sweeps — pass -grid with the sweep's flags", exitConflict
+	case origin != "" && out == "":
+		return "-origin annotates the -out journal's header — pass -out", exitConflict
+	case (launch.Launcher != "" && launch.Launcher != "local" || launch.Hosts != "" || launch.RemoteDir != "" || launch.StealAfter > 0) && spawn <= 0:
+		return "-launcher/-hosts/-remote-dir/-steal-after configure the orchestrator — pass -spawn m (or use lborch)", exitConflict
 	case resume != "" && out == "":
 		return "-resume without -out: re-running units nothing journals loses them on the next crash — pass -out (typically the same path, to resume in place), or use -merge for a pure render", exitConflict
 	case merge != "" && resume != "":
@@ -258,31 +259,23 @@ func checkFlagCombos(grid bool, spawn int, emitMatrix, shard, resume, out, merge
 }
 
 // runSpawn is the orchestrated path: plan the m-way split, then either
-// serialize it (-emit-matrix) or spawn, supervise, merge and render.
-func runSpawn(f gridFlags, m int, emitMatrix string, retries int) int {
-	seedList, err := parseSeeds(f.seeds)
+// serialize it (-emit-matrix) or launch, supervise, steal, merge and
+// render.
+func runSpawn(f gridFlags, m int, emitMatrix string, launch *cliflags.Launch) int {
+	spec, err := f.grid.Spec()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		return exitUsage
-	}
-	spec := batch.Spec{
-		Topologies:   splitList(f.topos),
-		Algorithms:   splitList(f.algos),
-		Modes:        splitList(f.modes),
-		Workloads:    splitList(f.loads),
-		Scenarios:    splitList(f.scenarios),
-		Seeds:        seedList,
-		N:            f.n,
-		Scale:        f.scale,
-		Epsilon:      f.eps,
-		MaxRounds:    f.rounds,
-		Workers:      f.workers,
-		RoundWorkers: f.roundWorkers,
 	}
 	switch f.format {
 	case "table", "csv", "json":
 	default:
 		fmt.Fprintf(os.Stderr, "lbbench: unknown -format %q (want table, csv or json)\n", f.format)
+		return exitUsage
+	}
+	launchers, err := launch.Launchers()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		return exitUsage
 	}
 	plan, err := orchestrator.NewPlan(spec, m, f.out)
@@ -314,10 +307,11 @@ func runSpawn(f gridFlags, m int, emitMatrix string, retries int) int {
 	ctx, stop := signals.Graceful(context.Background())
 	defer stop()
 	sup := &orchestrator.Supervisor{
-		Plan:       plan,
-		Command:    []string{self},
-		MaxRetries: retries,
-		Log:        os.Stderr,
+		Plan:      plan,
+		Command:   []string{self},
+		Launchers: launchers,
+		Policy:    launch.Policy(),
+		Log:       os.Stderr,
 	}
 	code := sup.RunAndReport(ctx, f.streamAgg, os.Stdout)
 	if code == exitInterrupted {
@@ -405,17 +399,17 @@ func printRegistries() {
 
 // gridFlags bundles the grid-mode flag values.
 type gridFlags struct {
-	topos, algos, modes, loads, seeds string
-	scenarios                         string
-	n                                 int
-	scale, eps                        float64
-	rounds, workers                   int
-	// roundWorkers is the parsed -round-workers value: ≥ 0 explicit
-	// (0 and 1 both mean serial rounds), < 0 the auto-tuned split.
-	roundWorkers               int
+	// grid is the shared dimension/run-parameter flag group (cliflags);
+	// grid.Spec() assembles the batch spec.
+	grid                       *cliflags.Grid
 	format, out, resume, merge string
 	shardI, shardM             int
-	streamAgg                  bool
+	// unitLo/unitHi are the parsed -units window (both zero when absent;
+	// unitHi zero for an unbounded tail).
+	unitLo, unitHi int
+	// origin is the -origin provenance string for the -out journal header.
+	origin    string
+	streamAgg bool
 	// gridSet records whether -grid was given explicitly (a bare -merge
 	// renders from the journals' own headers, without trusting the grid
 	// flags' defaults).
@@ -428,27 +422,20 @@ type gridFlags struct {
 // and emits the aggregated report (classic, or streaming-only aggregates
 // with -stream-agg).
 func runGrid(f gridFlags) int {
-	seedList, err := parseSeeds(f.seeds)
+	spec, err := f.grid.Spec()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		return 2
 	}
-	spec := batch.Spec{
-		Topologies:   splitList(f.topos),
-		Algorithms:   splitList(f.algos),
-		Modes:        splitList(f.modes),
-		Workloads:    splitList(f.loads),
-		Scenarios:    splitList(f.scenarios),
-		Seeds:        seedList,
-		N:            f.n,
-		Scale:        f.scale,
-		Epsilon:      f.eps,
-		MaxRounds:    f.rounds,
-		Workers:      f.workers,
-		RoundWorkers: f.roundWorkers,
-	}
 	if f.shardM > 0 {
 		spec, err = spec.Shard(f.shardI, f.shardM)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+			return 2
+		}
+	}
+	if f.unitLo > 0 || f.unitHi > 0 {
+		spec, err = spec.Range(f.unitLo, f.unitHi)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 			return 2
@@ -463,7 +450,7 @@ func runGrid(f gridFlags) int {
 		return 2
 	}
 	// -merge with -resume was refused up front (checkFlagCombos).
-	mergePaths := splitList(f.merge)
+	mergePaths := cliflags.SplitList(f.merge)
 
 	// -merge -stream-agg is the pure render path: fold the shard journals'
 	// cells straight into the incremental aggregator and print the summary.
@@ -499,9 +486,12 @@ func runGrid(f gridFlags) int {
 				return 2
 			}
 			hdr := j.Specs[0]
+			// Shard and window fields describe the journal's slice, not the
+			// merged whole — a steal journal's header names a sub-range.
 			hdr.ShardIndex, hdr.ShardCount = 0, 0
-			hdr.Workers = f.workers
-			hdr.RoundWorkers = f.roundWorkers
+			hdr.UnitLo, hdr.UnitHi = 0, 0
+			hdr.Workers = f.grid.Parallel
+			hdr.RoundWorkers, _ = cliflags.ParseRoundWorkers(f.grid.RoundWorkers)
 			if f.shardM > 0 {
 				if hdr, err = hdr.Shard(f.shardI, f.shardM); err != nil {
 					fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
@@ -568,6 +558,9 @@ func runGrid(f gridFlags) int {
 			fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 			return 2
 		}
+		// Provenance lands in the journal's spec header (omitted when empty,
+		// keeping un-tagged journals byte-identical to older ones).
+		js.Origin = f.origin
 		// Error paths below exit non-zero anyway; the success paths close
 		// explicitly so a failed fsync can fail the run.
 		defer js.Close()
@@ -720,34 +713,6 @@ func renderAggReport(rep *batch.AggReport, format string) int {
 	return 0
 }
 
-// errShardRange marks a -shard value that parsed but names an impossible
-// slice (count ≤ 0, index outside [0, m)) — exitBadCount, where a malformed
-// string is plain usage (exitUsage).
-var errShardRange = errors.New("shard out of range")
-
-// parseShard parses the -shard i/m value ("" means unsharded).
-func parseShard(s string) (i, m int, err error) {
-	if s == "" {
-		return 0, 0, nil
-	}
-	parts := strings.SplitN(s, "/", 2)
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("bad -shard %q (want i/m, e.g. 0/3)", s)
-	}
-	i, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
-	m, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
-	if err1 != nil || err2 != nil {
-		return 0, 0, fmt.Errorf("bad -shard %q (want i/m, e.g. 0/3)", s)
-	}
-	if m <= 0 {
-		return 0, 0, fmt.Errorf("bad -shard %q: %w: count must be positive", s, errShardRange)
-	}
-	if i < 0 || i >= m {
-		return 0, 0, fmt.Errorf("bad -shard %q: %w: index must be in [0, %d)", s, errShardRange, m)
-	}
-	return i, m, nil
-}
-
 // samePath reports whether a and b name the same file, so resume-in-place
 // is recognized however the paths are spelled (`./x.jsonl` vs `x.jsonl`,
 // absolute vs relative, through symlinks). Misclassifying here would send a
@@ -780,41 +745,4 @@ func containsPath(list []string, s string) bool {
 		}
 	}
 	return false
-}
-
-// parseRoundWorkers parses the -round-workers value: a non-negative worker
-// count, or "auto" (encoded as −1) for the batch auto-tuner's split.
-func parseRoundWorkers(s string) (int, error) {
-	if strings.EqualFold(strings.TrimSpace(s), "auto") {
-		return -1, nil
-	}
-	w, err := strconv.Atoi(strings.TrimSpace(s))
-	if err != nil || w < 0 {
-		return 0, fmt.Errorf("bad -round-workers %q (want a non-negative count, or 'auto')", s)
-	}
-	return w, nil
-}
-
-// splitList splits a comma-separated flag value, dropping empty entries.
-func splitList(s string) []string {
-	var out []string
-	for _, v := range strings.Split(s, ",") {
-		if v = strings.TrimSpace(v); v != "" {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-// parseSeeds parses the -seeds list.
-func parseSeeds(s string) ([]int64, error) {
-	var out []int64
-	for _, v := range splitList(s) {
-		x, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad seed %q: %v", v, err)
-		}
-		out = append(out, x)
-	}
-	return out, nil
 }

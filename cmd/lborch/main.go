@@ -1,11 +1,15 @@
 // Command lborch is the standalone shard orchestrator: one command that
-// plans an m-way shard split of a sweep grid, spawns m lbbench shard
-// subprocesses sharing one LB_SPECCACHE_DIR, tails their journals for
-// shard-aware live progress, restarts dead shards from their own journals
-// (capped retries, loudly reported), and merges the finished journals into
-// a final report byte-identical to a single-process sweep:
+// plans an m-way shard split of a sweep grid, launches m lbbench shard
+// attempts on a pluggable backend (local subprocesses by default, ssh hosts
+// with -launcher ssh -hosts, a Slurm queue with -launcher slurm), tails
+// their journals for shard-aware live progress, restarts dead shards from
+// their own journals (capped retries, loudly reported), optionally steals
+// work from stragglers (-steal-after), and merges the finished journals
+// into a final report byte-identical to a single-process sweep:
 //
 //	lborch -m 3 -out sweep/ -topos cycle,torus -n 256 -seeds 1,2,3
+//	lborch -m 8 -out sweep/ -launcher ssh -hosts node1,node2 \
+//	       -steal-after 2m -topos torus -n 4096 -seeds 1,2,3
 //
 // It is a thin wrapper over internal/orchestrator — the same machinery
 // lbbench -spawn uses — for operators who keep the orchestrator and the
@@ -16,8 +20,9 @@
 //	lborch -m 16 -emit-matrix slurm -topos torus -n 4096 -seeds 1,2,3
 //
 // The lbbench binary is located via -lbbench, next to lborch itself, or on
-// PATH, in that order. Exit codes match lbbench: 0 success; 1 failed units
-// or failed shards; 2 usage errors; 3 interrupted (re-run to resume); 5 bad
+// PATH, in that order (remote backends run -remote-cmd, default lbbench on
+// the remote PATH). Exit codes match lbbench: 0 success; 1 failed units or
+// failed shards; 2 usage errors; 3 interrupted (re-run to resume); 5 bad
 // shard count.
 package main
 
@@ -28,11 +33,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
-	"strconv"
-	"strings"
-	"time"
 
-	"repro/internal/batch"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/orchestrator"
 	"repro/internal/signals"
@@ -42,81 +44,40 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		m          = flag.Int("m", 0, "shard count: how many lbbench subprocesses to spawn (required)")
+		m          = flag.Int("m", 0, "shard count: how many lbbench shard attempts to launch (required)")
 		out        = flag.String("out", "sweep", "directory for the per-shard journals and stderr logs")
 		emitMatrix = flag.String("emit-matrix", "", "print the shard plan as a CI/cluster fan-out (github, slurm, shell) instead of running it")
 		lbbench    = flag.String("lbbench", "", "path to the lbbench binary (default: next to lborch, then $PATH)")
-		retries    = flag.Int("retries", 3, "max restarts per dead shard before giving up")
-		interval   = flag.Duration("progress", time.Second, "journal poll period for the progress display")
-		stall      = flag.Duration("stall-after", time.Minute, "warn when a running shard's journal is unchanged this long")
-
-		topos     = flag.String("topos", "cycle,torus,hypercube", "comma-separated topology names")
-		algos     = flag.String("algos", "diffusion,dimexchange,randpair", "comma-separated algorithm names")
-		modes     = flag.String("modes", "continuous", "comma-separated load modes (continuous,discrete)")
-		loads     = flag.String("loads", "spike,uniform", "comma-separated workload kinds")
-		scenarios = flag.String("scenarios", "static", "comma-separated scenarios (time-varying arrivals / adversarial spikes / topology churn)")
-		n         = flag.Int("n", 64, "approximate node count per topology")
-		seeds     = flag.String("seeds", "1", "comma-separated repetition seeds")
-		scale     = flag.Float64("scale", 1e6, "load magnitude")
-		eps       = flag.Float64("eps", 1e-3, "convergence target Φ ≤ ε·Φ⁰")
-		rounds    = flag.Int("rounds", 0, "round cap per unit (0 = theorem-derived default)")
-		parallel  = flag.Int("parallel", 0, "worker-pool width inside each shard subprocess (0 = GOMAXPROCS)")
-		roundWkrs = flag.String("round-workers", "1", "round-level workers inside every stepper, per shard subprocess: a count, or 'auto' to split GOMAXPROCS from the grid shape")
-
-		format    = flag.String("format", "table", "final report format (table, csv, json)")
-		streamAgg = flag.Bool("stream-agg", false, "render streaming-only aggregates+marginals instead of the per-cell report")
+		grid       = cliflags.RegisterGrid(flag.CommandLine)
+		output     = cliflags.RegisterOutput(flag.CommandLine)
+		launch     = cliflags.RegisterLaunch(flag.CommandLine)
 	)
 	flag.Parse()
 
 	if *m <= 0 {
-		fmt.Fprintln(os.Stderr, "lborch: -m is required: how many shard subprocesses to spawn")
+		fmt.Fprintln(os.Stderr, "lborch: -m is required: how many shard attempts to launch")
 		return 5
 	}
-	switch *format {
-	case "table", "csv", "json":
-	default:
-		fmt.Fprintf(os.Stderr, "lborch: unknown -format %q (want table, csv or json)\n", *format)
+	if err := output.CheckFormat(); err != nil {
+		fmt.Fprintf(os.Stderr, "lborch: %v\n", err)
 		return 2
 	}
-
-	var seedList []int64
-	for _, s := range splitList(*seeds) {
-		x, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "lborch: bad seed %q: %v\n", s, err)
-			return 2
-		}
-		seedList = append(seedList, x)
-	}
-	rw := 0
-	if strings.EqualFold(strings.TrimSpace(*roundWkrs), "auto") {
-		rw = -1
-	} else if v, err := strconv.Atoi(strings.TrimSpace(*roundWkrs)); err == nil && v >= 0 {
-		rw = v
-	} else {
-		fmt.Fprintf(os.Stderr, "lborch: bad -round-workers %q (want a non-negative count, or 'auto')\n", *roundWkrs)
+	spec, err := grid.Spec()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lborch: %v\n", err)
 		return 2
 	}
-	spec := batch.Spec{
-		Topologies:   splitList(*topos),
-		Algorithms:   splitList(*algos),
-		Modes:        splitList(*modes),
-		Workloads:    splitList(*loads),
-		Scenarios:    splitList(*scenarios),
-		Seeds:        seedList,
-		N:            *n,
-		Scale:        *scale,
-		Epsilon:      *eps,
-		MaxRounds:    *rounds,
-		Workers:      *parallel,
-		RoundWorkers: rw,
+	launchers, err := launch.Launchers()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lborch: %v\n", err)
+		return 2
 	}
 	plan, err := orchestrator.NewPlan(spec, *m, *out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lborch: %v\n", err)
 		return 2
 	}
-	plan.Format = *format
+	plan.Format = output.Format
 	if err := core.ValidateGridSpec(plan.Spec); err != nil {
 		fmt.Fprintf(os.Stderr, "lborch: %v\n", err)
 		return 2
@@ -139,14 +100,13 @@ func run() int {
 	ctx, stop := signals.Graceful(context.Background())
 	defer stop()
 	sup := &orchestrator.Supervisor{
-		Plan:       plan,
-		Command:    []string{bin},
-		MaxRetries: *retries,
-		Log:        os.Stderr,
-		Interval:   *interval,
-		StallAfter: *stall,
+		Plan:      plan,
+		Command:   []string{bin},
+		Launchers: launchers,
+		Policy:    launch.Policy(),
+		Log:       os.Stderr,
 	}
-	code := sup.RunAndReport(ctx, *streamAgg, os.Stdout)
+	code := sup.RunAndReport(ctx, output.StreamAgg, os.Stdout)
 	if code == 3 {
 		fmt.Fprintln(os.Stderr, "lborch: interrupted — re-run the same command to resume every shard")
 	}
@@ -172,15 +132,4 @@ func findLbbench(explicit string) (string, error) {
 		return path, nil
 	}
 	return "", fmt.Errorf("cannot find lbbench (tried -lbbench, next to lborch, $PATH) — build it with `go build -o DIR ./cmd/lbbench`")
-}
-
-// splitList splits a comma-separated flag value, dropping empty entries.
-func splitList(s string) []string {
-	var out []string
-	for _, v := range strings.Split(s, ",") {
-		if v = strings.TrimSpace(v); v != "" {
-			out = append(out, v)
-		}
-	}
-	return out
 }

@@ -32,11 +32,13 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/serve"
@@ -63,7 +65,6 @@ func run() int {
 		scale        = fs.Float64("scale", 1e6, "initial workload magnitude (with -load)")
 		eps          = fs.Float64("eps", 1e-3, "balance target ε (Φ ≤ ε·Φ⁰; also the drain target's ε·peak)")
 		seed         = fs.Int64("seed", 1, "algorithm RNG seed")
-		roundWorkers = fs.Int("round-workers", 1, "round-level worker goroutines per balancing round")
 		addr         = fs.String("addr", ":8080", "HTTP listen address (\":0\" picks a free port)")
 		hz           = fs.Float64("hz", 50, "balancing rounds per second (0 free-runs as fast as the hardware allows)")
 		replayPath   = fs.String("replay", "", "arrival trace to replay (JSONL, see -record)")
@@ -72,10 +73,23 @@ func run() int {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain wall-clock budget")
 		drainRounds  = fs.Int("drain-rounds", 4096, "graceful-drain round budget")
 	)
+	var roundWorkersFlag string
+	cliflags.RegisterRoundWorkers(fs, &roundWorkersFlag)
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return exitUsage
 	}
 	logger := log.New(os.Stderr, "lbserved: ", log.LstdFlags)
+
+	// The daemon runs one hot session, so "auto" means the round loop gets
+	// every core — there is no unit-level fan-out to share them with.
+	roundWorkers, err := cliflags.ParseRoundWorkers(roundWorkersFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbserved: %v\n", err)
+		return exitUsage
+	}
+	if roundWorkers < 0 {
+		roundWorkers = runtime.GOMAXPROCS(0)
+	}
 
 	factor, err := parseSpeedup(*speedup)
 	if err != nil {
@@ -133,7 +147,7 @@ func run() int {
 		Loads:     loads,
 		Epsilon:   *eps,
 		Seed:      *seed,
-		Workers:   *roundWorkers,
+		Workers:   roundWorkers,
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "lbserved: %v\n", err)

@@ -26,7 +26,7 @@
 //
 // The package is deliberately algorithm-agnostic: a RunFunc executes one
 // unit, so the engine never imports internal/core (which wires it up as
-// core.BalanceGrid) and any harness — the experiments suite, the CLIs, the
+// core.GridRun) and any harness — the experiments suite, the CLIs, the
 // root benchmarks — can reuse the same expansion, pooling, streaming and
 // aggregation machinery with its own run body.
 package batch
@@ -82,6 +82,15 @@ type Spec struct {
 	// headers so a merger can tell which slice each journal covers.
 	ShardIndex int `json:"shard_index,omitempty"`
 	ShardCount int `json:"shard_count,omitempty"`
+	// UnitLo/UnitHi further restrict ownership to the half-open expansion
+	// window [UnitLo, UnitHi) — the work-stealing supervisor's carve: a
+	// stolen sub-shard keeps the victim's ShardIndex/ShardCount and narrows
+	// the window to the units the victim never journaled. UnitHi == 0 means
+	// unbounded. Both zero (the default) is the whole expansion, so legacy
+	// specs and journal headers are unchanged. Set them through Range; they
+	// are recorded in journal headers like the shard fields.
+	UnitLo int `json:"unit_lo,omitempty"`
+	UnitHi int `json:"unit_hi,omitempty"`
 	// Workers sets the unit-level pool width (≤ 0 selects GOMAXPROCS). It
 	// affects scheduling only: results are identical for any value.
 	Workers int `json:"-"`
@@ -120,6 +129,34 @@ func ShardOwns(idx, i, m int) bool {
 		return true
 	}
 	return idx%m == i
+}
+
+// Range returns a copy of s restricted to expansion indices in the
+// half-open window [lo, hi); hi == 0 leaves the upper end unbounded. The
+// window composes with the shard fields: a ranged shard owns the indices
+// that pass both filters. This is how a supervisor reassigns a dead
+// shard's unstarted tail — the sub-shard keeps the victim's identity and
+// narrows the window, so the resulting journals stay disjoint and merge
+// back into exact global order.
+func (s Spec) Range(lo, hi int) (Spec, error) {
+	if lo < 0 {
+		return Spec{}, fmt.Errorf("batch: negative unit range start %d", lo)
+	}
+	if hi != 0 && hi <= lo {
+		return Spec{}, fmt.Errorf("batch: empty unit range [%d, %d)", lo, hi)
+	}
+	s.UnitLo, s.UnitHi = lo, hi
+	return s, nil
+}
+
+// Owns reports whether this spec's shard-and-window assignment owns
+// expansion index idx — the one ownership rule behind ownedUnits,
+// OwnedUnitCount and the supervisor's steal arithmetic.
+func (s Spec) Owns(idx int) bool {
+	if idx < s.UnitLo || (s.UnitHi > 0 && idx >= s.UnitHi) {
+		return false
+	}
+	return ShardOwns(idx, s.ShardIndex, s.ShardCount)
 }
 
 // WithDefaults returns s with the documented defaults filled in — the spec
@@ -385,6 +422,12 @@ func (s Spec) validShard() error {
 		return fmt.Errorf("batch: shard index %d without a shard count", s.ShardIndex)
 	case s.ShardCount > 0 && (s.ShardIndex < 0 || s.ShardIndex >= s.ShardCount):
 		return fmt.Errorf("batch: shard index %d out of range [0, %d)", s.ShardIndex, s.ShardCount)
+	case s.UnitLo < 0:
+		return fmt.Errorf("batch: negative unit range start %d", s.UnitLo)
+	case s.UnitHi < 0:
+		return fmt.Errorf("batch: negative unit range end %d", s.UnitHi)
+	case s.UnitHi > 0 && s.UnitHi <= s.UnitLo:
+		return fmt.Errorf("batch: empty unit range [%d, %d)", s.UnitLo, s.UnitHi)
 	}
 	return nil
 }
@@ -397,30 +440,40 @@ func (s Spec) UnitCount() int {
 	return len(s.Topologies) * len(s.Algorithms) * len(s.Modes) * len(s.Workloads) * len(s.Scenarios) * len(s.Seeds)
 }
 
-// OwnedUnitCount is how many of the expansion's units this spec's shard
-// owns (the full count when unsharded) — the denominator of a shard's
-// progress display.
+// OwnedUnitCount is how many of the expansion's units this spec's
+// shard-and-window assignment owns (the full count when unsharded and
+// unwindowed) — the denominator of a shard's progress display.
 func (s Spec) OwnedUnitCount() int {
 	total := s.UnitCount()
+	lo, hi := s.UnitLo, s.UnitHi
+	if hi == 0 || hi > total {
+		hi = total
+	}
+	if lo >= hi {
+		return 0
+	}
 	if s.ShardCount <= 1 {
-		return total
+		return hi - lo
 	}
-	n := total / s.ShardCount
-	if s.ShardIndex < total%s.ShardCount {
-		n++
+	// Count of idx in [0, x) with idx % m == i.
+	upTo := func(x int) int {
+		if x <= s.ShardIndex {
+			return 0
+		}
+		return (x-s.ShardIndex-1)/s.ShardCount + 1
 	}
-	return n
+	return upTo(hi) - upTo(lo)
 }
 
-// ownedUnits filters units down to the receiver's shard. Unsharded specs
-// keep the slice as-is.
+// ownedUnits filters units down to the receiver's shard and window.
+// Unrestricted specs keep the slice as-is.
 func (s Spec) ownedUnits(units []Unit) []Unit {
-	if s.ShardCount <= 1 {
+	if s.ShardCount <= 1 && s.UnitLo == 0 && s.UnitHi == 0 {
 		return units
 	}
 	mine := make([]Unit, 0, s.OwnedUnitCount())
 	for _, u := range units {
-		if ShardOwns(u.Index, s.ShardIndex, s.ShardCount) {
+		if s.Owns(u.Index) {
 			mine = append(mine, u)
 		}
 	}

@@ -270,7 +270,7 @@ func (s *journalScanner) advance() error {
 				s.dropped += countLines(s.br)
 				return nil
 			case header != nil:
-				if err := s.onSpec(*header); err != nil {
+				if err := s.onSpec(*header.Spec); err != nil {
 					return err
 				}
 			default:
@@ -297,10 +297,10 @@ func (s *journalScanner) advance() error {
 // parseJournalLine classifies one non-empty journal line. A header is
 // distinguishable by its "spec" key, which a cell line never has; a line
 // that decodes as neither reports an error (torn or corrupt).
-func parseJournalLine(t []byte) (*Spec, Cell, error) {
+func parseJournalLine(t []byte) (*specHeader, Cell, error) {
 	var h specHeader
 	if json.Unmarshal(t, &h) == nil && h.Spec != nil {
-		return h.Spec, Cell{}, nil
+		return &h, Cell{}, nil
 	}
 	var c Cell
 	if err := json.Unmarshal(t, &c); err != nil {

@@ -19,6 +19,9 @@ type JournalProgress struct {
 	// empty shard, or a shard killed before its first cell — has Specs but
 	// zero Cells.
 	Specs []Spec
+	// Origins are the provenance strings recorded alongside the headers,
+	// parallel to Specs ("" for headers written without one).
+	Origins []string
 	// Cells counts the complete, decodable cell lines; Failed how many of
 	// them carry an error (failed or cancelled units).
 	Cells  int
@@ -74,7 +77,8 @@ func ScanJournalProgress(r io.Reader) (JournalProgress, error) {
 				p.Dropped += countLines(br)
 				return p, nil
 			case header != nil:
-				p.Specs = append(p.Specs, *header)
+				p.Specs = append(p.Specs, *header.Spec)
+				p.Origins = append(p.Origins, header.Origin)
 			default:
 				p.Cells++
 				if c.Err != "" {
@@ -176,7 +180,8 @@ func (t *JournalTailer) Scan() (JournalProgress, error) {
 			case perr != nil:
 				t.p.Dropped++
 			case header != nil:
-				t.p.Specs = append(t.p.Specs, *header)
+				t.p.Specs = append(t.p.Specs, *header.Spec)
+				t.p.Origins = append(t.p.Origins, header.Origin)
 			default:
 				t.p.Cells++
 				if c.Err != "" {

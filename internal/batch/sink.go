@@ -74,6 +74,13 @@ func (m *MemorySink) Report(spec Spec) *Report {
 type JSONLSink struct {
 	w      io.Writer
 	closer io.Closer
+	// Origin, when non-empty, is recorded in the journal's spec header as
+	// provenance — which launcher/host/attempt produced this journal. It is
+	// ignored by every identity check (resume, merge, progress), exists
+	// purely for humans and supervisors reading the file back, and is
+	// omitted entirely when unset, so unannotated journals keep their exact
+	// legacy bytes.
+	Origin string
 }
 
 // NewJSONLSink streams cells to w. Close does not close w.
@@ -114,10 +121,15 @@ func ReplaceJSONL(path string) (*JSONLSink, error) {
 }
 
 // specHeader is the journal's first line: the spec the cells were produced
-// under. Cells never carry a "spec" key, so the reader can tell the two
-// line shapes apart without a format version.
+// under, plus optional provenance. Cells never carry a "spec" key, so the
+// reader can tell the two line shapes apart without a format version.
 type specHeader struct {
 	Spec *Spec `json:"spec"`
+	// Origin records which executor produced the journal (e.g.
+	// "local:s1:attempt2", "ssh:host1:s3-steal-1"). Absent when unset;
+	// readers that predate it ignore unknown keys, so annotated journals
+	// stay backward-readable.
+	Origin string `json:"origin,omitempty"`
 }
 
 // Spec writes the journal header line (implements SpecWriter). An
@@ -126,7 +138,7 @@ type specHeader struct {
 // engine versions and golden-journal comparisons keep holding.
 func (s *JSONLSink) Spec(spec Spec) error {
 	spec = spec.headerCanonical()
-	b, err := json.Marshal(specHeader{Spec: &spec})
+	b, err := json.Marshal(specHeader{Spec: &spec, Origin: s.Origin})
 	if err != nil {
 		return fmt.Errorf("batch: journal: marshal spec: %w", err)
 	}

@@ -71,8 +71,9 @@ func GridStreamOnly() GridOption {
 //
 // Options compose the sweep's plumbing: GridSink streams cells, GridResume
 // skips journaled work, GridShard takes one slice of a multi-process
-// sweep, GridStreamOnly drops the in-process report. The legacy
-// BalanceGrid* entry points are thin wrappers over this one function.
+// sweep, GridStreamOnly drops the in-process report. This is the sole
+// sweep entry point — the pre-PR-8 BalanceGrid* wrappers are gone; each
+// was a one-line composition of the options above.
 func GridRun(ctx context.Context, spec batch.Spec, opts ...GridOption) (*batch.Report, error) {
 	var o gridOptions
 	for _, opt := range opts {
@@ -95,51 +96,7 @@ func GridRun(ctx context.Context, spec batch.Spec, opts ...GridOption) (*batch.R
 	return batch.Resume(ctx, spec, run, o.journal, o.sink)
 }
 
-// BalanceGrid runs the sweep with no context, sink or journal.
-//
-// Deprecated: use GridRun.
-func BalanceGrid(spec batch.Spec) (*batch.Report, error) {
-	return GridRun(context.Background(), spec)
-}
-
-// BalanceGridContext is BalanceGrid with cancellation.
-//
-// Deprecated: use GridRun.
-func BalanceGridContext(ctx context.Context, spec batch.Spec) (*batch.Report, error) {
-	return GridRun(ctx, spec)
-}
-
-// BalanceGridSink is BalanceGridContext with a streaming sink.
-//
-// Deprecated: use GridRun with GridSink.
-func BalanceGridSink(ctx context.Context, spec batch.Spec, sink batch.Sink) (*batch.Report, error) {
-	return GridRun(ctx, spec, GridSink(sink))
-}
-
-// BalanceGridResume re-runs spec against a partial JSONL journal.
-//
-// Deprecated: use GridRun with GridResume and GridSink.
-func BalanceGridResume(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
-	return GridRun(ctx, spec, GridResume(journal), GridSink(sink))
-}
-
-// BalanceGridSharded runs one shard of a multi-process sweep.
-//
-// Deprecated: use GridRun with GridShard (plus GridResume and GridSink).
-func BalanceGridSharded(ctx context.Context, spec batch.Spec, shard, of int, journal *batch.Journal, sink batch.Sink) (*batch.Report, error) {
-	return GridRun(ctx, spec, GridShard(shard, of), GridResume(journal), GridSink(sink))
-}
-
-// BalanceGridStream is the streaming-only sweep.
-//
-// Deprecated: use GridRun with GridStreamOnly (plus GridSink and
-// GridResume).
-func BalanceGridStream(ctx context.Context, spec batch.Spec, journal *batch.Journal, sink batch.Sink) error {
-	_, err := GridRun(ctx, spec, GridStreamOnly(), GridSink(sink), GridResume(journal))
-	return err
-}
-
-// ValidateGridSpec rejects every spec BalanceGrid would reject, without
+// ValidateGridSpec rejects every spec GridRun would reject, without
 // running any unit: dimension validation (empty/duplicate entries,
 // duplicate seeds), algorithm names, and topology buildability at spec.N.
 // The topology check constructs each graph (and discards it — the sweep

@@ -24,8 +24,8 @@ func gridSpec() batch.Spec {
 	}
 }
 
-func TestBalanceGridConvergesEverywhere(t *testing.T) {
-	rep, err := BalanceGrid(gridSpec())
+func TestGridConvergesEverywhere(t *testing.T) {
+	rep, err := GridRun(context.Background(), gridSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,11 +51,11 @@ func TestBalanceGridConvergesEverywhere(t *testing.T) {
 	}
 }
 
-func TestBalanceGridDeterministicAcrossWorkers(t *testing.T) {
+func TestGridDeterministicAcrossWorkers(t *testing.T) {
 	render := func(workers int) []byte {
 		spec := gridSpec()
 		spec.Workers = workers
-		rep, err := BalanceGrid(spec)
+		rep, err := GridRun(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,15 +73,15 @@ func TestBalanceGridDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
-func TestBalanceGridRejectsUnknownAlgorithm(t *testing.T) {
+func TestGridRejectsUnknownAlgorithm(t *testing.T) {
 	spec := gridSpec()
 	spec.Algorithms = []string{"diffusion", "gradientdescent"}
-	if _, err := BalanceGrid(spec); err == nil {
+	if _, err := GridRun(context.Background(), spec); err == nil {
 		t.Fatal("unknown algorithm must fail the sweep up front")
 	}
 }
 
-func TestBalanceGridUnsupportedComboIsCellError(t *testing.T) {
+func TestGridUnsupportedComboIsCellError(t *testing.T) {
 	// firstorder is continuous-only: its discrete cells must error without
 	// sinking the rest of the sweep.
 	spec := batch.Spec{
@@ -91,7 +91,7 @@ func TestBalanceGridUnsupportedComboIsCellError(t *testing.T) {
 		Workloads:  []string{"spike"},
 		N:          16,
 	}
-	rep, err := BalanceGrid(spec)
+	rep, err := GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,13 +134,13 @@ func (s *cancellingSink) Cell(c batch.Cell) error {
 
 func (s *cancellingSink) Close() error { return s.inner.Close() }
 
-// TestBalanceGridCancelLeavesResumableJournal interrupts a real balancing
+// TestGridCancelLeavesResumableJournal interrupts a real balancing
 // sweep mid-flight and checks the contract the CLI's crash-and-resume
 // recipe rests on: the run returns ctx.Err(), the journal it leaves is
 // valid JSONL covering every unit (clean cells plus cancellation-error
 // cells), and resuming from it reproduces the uninterrupted run's CSV and
 // JSON byte-for-byte.
-func TestBalanceGridCancelLeavesResumableJournal(t *testing.T) {
+func TestGridCancelLeavesResumableJournal(t *testing.T) {
 	spec := gridSpec()
 
 	render := func(rep *batch.Report) []byte {
@@ -153,7 +153,7 @@ func TestBalanceGridCancelLeavesResumableJournal(t *testing.T) {
 		}
 		return b.Bytes()
 	}
-	fullRep, err := BalanceGrid(spec)
+	fullRep, err := GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestBalanceGridCancelLeavesResumableJournal(t *testing.T) {
 	// already run, so the cancel would land after the sweep finished.
 	partialSpec := spec
 	partialSpec.Workers = 1
-	partialRep, err := BalanceGridSink(ctx, partialSpec, sink)
+	partialRep, err := GridRun(ctx, partialSpec, GridSink(sink))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
 	}
@@ -202,7 +202,7 @@ func TestBalanceGridCancelLeavesResumableJournal(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		respec := spec
 		respec.Workers = workers
-		resumed, err := BalanceGridResume(context.Background(), respec, journal, nil)
+		resumed, err := GridRun(context.Background(), respec, GridResume(journal))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,10 +212,10 @@ func TestBalanceGridCancelLeavesResumableJournal(t *testing.T) {
 	}
 }
 
-// TestBalanceGridRejectsBadSpecUpFront exercises the Validate path through
+// TestGridRejectsBadSpecUpFront exercises the Validate path through
 // the public grid API: empty dimensions and duplicate seeds must fail
 // before any unit runs.
-func TestBalanceGridRejectsBadSpecUpFront(t *testing.T) {
+func TestGridRejectsBadSpecUpFront(t *testing.T) {
 	for name, mutate := range map[string]func(*batch.Spec){
 		"empty topologies": func(s *batch.Spec) { s.Topologies = nil },
 		"duplicate seeds":  func(s *batch.Spec) { s.Seeds = []int64{1, 1} },
@@ -223,17 +223,17 @@ func TestBalanceGridRejectsBadSpecUpFront(t *testing.T) {
 	} {
 		spec := gridSpec()
 		mutate(&spec)
-		if _, err := BalanceGrid(spec); err == nil {
+		if _, err := GridRun(context.Background(), spec); err == nil {
 			t.Fatalf("%s: accepted", name)
 		}
 	}
 }
 
-// TestBalanceGridShardedMergeByteIdentical drives the whole sharded recipe
+// TestGridShardedMergeByteIdentical drives the whole sharded recipe
 // through the real balancer: m shard processes journal their slices,
 // MergeJournals reassembles them, and the resumed report matches a
 // single-process sweep byte for byte without re-running a unit.
-func TestBalanceGridShardedMergeByteIdentical(t *testing.T) {
+func TestGridShardedMergeByteIdentical(t *testing.T) {
 	spec := batch.Spec{
 		Topologies: []string{"cycle", "star"},
 		Algorithms: []string{"diffusion", "dimexchange"},
@@ -242,7 +242,7 @@ func TestBalanceGridShardedMergeByteIdentical(t *testing.T) {
 		Seeds:      []int64{1, 2},
 		N:          16,
 	}
-	full, err := BalanceGrid(spec)
+	full, err := GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func TestBalanceGridShardedMergeByteIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		shardRep, err := BalanceGridSharded(context.Background(), spec, i, m, nil, sink)
+		shardRep, err := GridRun(context.Background(), spec, GridShard(i, m), GridSink(sink))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -281,7 +281,7 @@ func TestBalanceGridShardedMergeByteIdentical(t *testing.T) {
 	if len(journal.Cells) != len(full.Cells) {
 		t.Fatalf("merged %d cells, want %d", len(journal.Cells), len(full.Cells))
 	}
-	merged, err := BalanceGridResume(context.Background(), spec, journal, nil)
+	merged, err := GridRun(context.Background(), spec, GridResume(journal))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,10 +294,10 @@ func TestBalanceGridShardedMergeByteIdentical(t *testing.T) {
 	}
 }
 
-// TestBalanceGridStreamAggMatchesReport: the streaming-only path must fold
+// TestGridStreamAggMatchesReport: the streaming-only path must fold
 // the same aggregates the materialized report computes, through the real
 // balancer.
-func TestBalanceGridStreamAggMatchesReport(t *testing.T) {
+func TestGridStreamAggMatchesReport(t *testing.T) {
 	spec := batch.Spec{
 		Topologies: []string{"cycle", "torus"},
 		Algorithms: []string{"diffusion", "randpair"},
@@ -306,12 +306,12 @@ func TestBalanceGridStreamAggMatchesReport(t *testing.T) {
 		Seeds:      []int64{1, 2},
 		N:          16,
 	}
-	rep, err := BalanceGrid(spec)
+	rep, err := GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	agg := batch.NewAggSink()
-	if err := BalanceGridStream(context.Background(), spec, nil, agg); err != nil {
+	if _, err := GridRun(context.Background(), spec, GridStreamOnly(), GridSink(agg)); err != nil {
 		t.Fatal(err)
 	}
 	want, err := json.Marshal(rep.Aggregates)
@@ -328,7 +328,7 @@ func TestBalanceGridStreamAggMatchesReport(t *testing.T) {
 	// A bad spec is rejected before anything runs, like the other entries.
 	bad := spec
 	bad.Algorithms = []string{"nosuchalgo"}
-	if err := BalanceGridStream(context.Background(), bad, nil, batch.NewAggSink()); err == nil {
-		t.Fatal("BalanceGridStream accepted an unknown algorithm")
+	if _, err := GridRun(context.Background(), bad, GridStreamOnly(), GridSink(batch.NewAggSink())); err == nil {
+		t.Fatal("streaming-only GridRun accepted an unknown algorithm")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -197,7 +198,7 @@ func TestGridReportRoundWorkersByteIdentity(t *testing.T) {
 	var ref []byte
 	for _, combo := range []struct{ w, rw int }{{1, 1}, {1, 7}, {2, 3}} {
 		spec.Workers, spec.RoundWorkers = combo.w, combo.rw
-		rep, err := BalanceGrid(spec)
+		rep, err := GridRun(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}

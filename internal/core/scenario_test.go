@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -148,11 +149,11 @@ func TestBalanceScenarioDiscreteConservesPlusInjections(t *testing.T) {
 	}
 }
 
-// TestBalanceGridScenarioWorkerIndependence: the determinism contract
+// TestGridScenarioWorkerIndependence: the determinism contract
 // extended to the scenario dimension — a grid with static, adversarial and
 // stochastic-arrival scenarios renders byte-identically for any worker
 // count.
-func TestBalanceGridScenarioWorkerIndependence(t *testing.T) {
+func TestGridScenarioWorkerIndependence(t *testing.T) {
 	spec := batch.Spec{
 		Topologies: []string{"cycle", "torus"},
 		Algorithms: []string{"diffusion", "randpair"},
@@ -167,7 +168,7 @@ func TestBalanceGridScenarioWorkerIndependence(t *testing.T) {
 	var first []byte
 	for _, workers := range []int{1, 8} {
 		spec.Workers = workers
-		rep, err := BalanceGrid(spec)
+		rep, err := GridRun(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -259,9 +259,11 @@ func TestTraceScenarioGridByteIdentity(t *testing.T) {
 	}
 }
 
-// TestGridWrappersMatchGridRun: the deprecated BalanceGrid* wrappers must
-// stay behaviorally identical to the GridRun calls they forward to.
-func TestGridWrappersMatchGridRun(t *testing.T) {
+// TestGridRunWindowedShard: a sharded spec narrowed to a unit window — the
+// supervisor's stolen sub-shard — runs exactly the window's slice of the
+// shard through the real balancer, and its cells match the same units from
+// an unrestricted run.
+func TestGridRunWindowedShard(t *testing.T) {
 	spec := batch.Spec{
 		Topologies: []string{"cycle"},
 		Algorithms: []string{"diffusion"},
@@ -270,26 +272,32 @@ func TestGridWrappersMatchGridRun(t *testing.T) {
 		N:          16,
 		Seeds:      []int64{1, 2, 3},
 	}
-	want, err := GridRun(context.Background(), spec)
+	full, err := GridRun(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := BalanceGrid(spec)
+	shard, err := spec.Shard(1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(stripWall(got.Cells), stripWall(want.Cells)) {
-		t.Fatal("BalanceGrid diverges from GridRun")
-	}
-	shard, err := GridRun(context.Background(), spec, GridShard(1, 3))
+	windowed, err := shard.Range(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	shardW, err := BalanceGridSharded(context.Background(), spec, 1, 3, nil, nil)
+	got, err := GridRun(context.Background(), windowed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(stripWall(shardW.Cells), stripWall(shard.Cells)) {
-		t.Fatal("BalanceGridSharded diverges from GridRun+GridShard")
+	var want []batch.Cell
+	for _, c := range full.Cells {
+		if windowed.Owns(c.Index) {
+			want = append(want, c)
+		}
+	}
+	if len(got.Cells) != windowed.OwnedUnitCount() {
+		t.Fatalf("windowed shard ran %d cells, owns %d", len(got.Cells), windowed.OwnedUnitCount())
+	}
+	if !reflect.DeepEqual(stripWall(got.Cells), stripWall(want)) {
+		t.Fatal("windowed shard cells diverge from the unrestricted run's slice")
 	}
 }

@@ -13,6 +13,16 @@ import (
 // and renders it to stdout in the given format ("table", "csv" or "json") —
 // the automatic last step of a supervised sweep, and the same output a
 // single-process run of the plan's spec would print, byte for byte.
+func (p *Plan) MergeReport(ctx context.Context, format string, streamAgg bool, stdout, stderr io.Writer) (failedUnits int, err error) {
+	return p.MergeReportFrom(ctx, p.JournalPaths(), format, streamAgg, stdout, stderr)
+}
+
+// MergeReportFrom is MergeReport over an explicit journal set — the form
+// the supervisor uses after a sweep with steals, where the journals are the
+// planned shards plus whatever sub-range journals the steals minted.
+// Because sub-range journals carry the same global unit indices the victim
+// would have written, the merge is indistinguishable from an uninterrupted
+// run.
 //
 // The classic path replays the merged journal through the resume engine, so
 // any units the journals somehow miss re-run in-process rather than leaving
@@ -23,11 +33,11 @@ import (
 // failedUnits counts journaled cells carrying errors — the caller's exit
 // code distinguishes a complete-but-imperfect figure (some units failed)
 // from a clean one exactly as a single-process sweep does.
-func (p *Plan) MergeReport(ctx context.Context, format string, streamAgg bool, stdout, stderr io.Writer) (failedUnits int, err error) {
+func (p *Plan) MergeReportFrom(ctx context.Context, paths []string, format string, streamAgg bool, stdout, stderr io.Writer) (failedUnits int, err error) {
 	if streamAgg {
-		return p.mergeAggregates(format, stdout, stderr)
+		return p.mergeAggregates(paths, format, stdout, stderr)
 	}
-	journal, stats, err := batch.ReadMergedJournals(p.JournalPaths()...)
+	journal, stats, err := batch.ReadMergedJournals(paths...)
 	if err != nil {
 		return 0, err
 	}
@@ -49,9 +59,9 @@ func (p *Plan) MergeReport(ctx context.Context, format string, streamAgg bool, s
 
 // mergeAggregates is the streaming-only render: fold the journals into an
 // AggSink and print the aggregate report.
-func (p *Plan) mergeAggregates(format string, stdout, stderr io.Writer) (int, error) {
+func (p *Plan) mergeAggregates(paths []string, format string, stdout, stderr io.Writer) (int, error) {
 	agg := batch.NewAggSink()
-	stats, err := batch.MergeJournals(agg, p.JournalPaths()...)
+	stats, err := batch.MergeJournals(agg, paths...)
 	if err != nil {
 		return 0, err
 	}

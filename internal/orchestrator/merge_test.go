@@ -93,11 +93,10 @@ func TestSupervisorDoesNotRestartCompleteShard(t *testing.T) {
 	writePlanJournals(t, p) // complete journals already on disk
 	var log bytes.Buffer
 	s := &Supervisor{
-		Plan:       p,
-		Command:    stubCommand(t, "exit 1"), // "figure has holes" exit
-		MaxRetries: -1,
-		Log:        &log,
-		Interval:   10 * time.Millisecond,
+		Plan:    p,
+		Command: stubCommand(t, "exit 1"), // "figure has holes" exit
+		Policy:  Policy{MaxRetries: -1, Interval: 10 * time.Millisecond},
+		Log:     &log,
 	}
 	if err := s.Run(context.Background()); err != nil {
 		t.Fatalf("Run treated a complete shard as a crash: %v\nlog:\n%s", err, log.String())

@@ -134,6 +134,45 @@ func (p *Plan) ShardArgs(i int, resume bool) []string {
 	return append(args, "-out", sh.Journal)
 }
 
+// Tasks builds the initial task list the supervisor schedules: one
+// whole-shard task per planned shard, labeled s0..s{m-1}. Steals append to
+// this list at run time; it is the starting point, not the final shape.
+func (p *Plan) Tasks() []*Task {
+	tasks := make([]*Task, len(p.Shards))
+	for i, sh := range p.Shards {
+		tasks[i] = &Task{
+			Shard:   sh,
+			Journal: sh.Journal,
+			Units:   sh.Units,
+			Label:   fmt.Sprintf("s%d", sh.Index),
+		}
+	}
+	return tasks
+}
+
+// TaskArgs are the lbbench flags for one attempt of t: the grid, the
+// shard slice, the unit window when the task is a stolen sub-range, its
+// provenance tag, and its journal. A whole-shard task without origin
+// produces exactly the classic ShardArgs flag list, so the local launcher
+// path spawns byte-identical command lines to the pre-Launcher supervisor.
+func (p *Plan) TaskArgs(t *Task, resume bool) []string {
+	args := append(p.GridArgs(), "-shard", fmt.Sprintf("%d/%d", t.Shard.Index, t.Shard.Count))
+	if t.Lo > 0 || t.Hi > 0 {
+		if t.Hi > 0 {
+			args = append(args, "-units", fmt.Sprintf("%d:%d", t.Lo, t.Hi))
+		} else {
+			args = append(args, "-units", fmt.Sprintf("%d:", t.Lo))
+		}
+	}
+	if t.Origin != "" {
+		args = append(args, "-origin", t.Origin)
+	}
+	if resume {
+		args = append(args, "-resume", t.Journal)
+	}
+	return append(args, "-out", t.Journal)
+}
+
 // JournalPaths lists the per-shard journals in shard order — the argument
 // to MergeJournals once every shard is done.
 func (p *Plan) JournalPaths() []string {

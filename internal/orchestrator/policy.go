@@ -1,0 +1,50 @@
+package orchestrator
+
+import "time"
+
+// Policy is the supervisor's restart/steal policy — one value the CLIs and
+// tests configure identically instead of loose parameters scattered over
+// the Supervisor.
+type Policy struct {
+	// MaxRetries caps how many times one task is restarted after dying: 0
+	// means never restart (fail fast on the first death), negative selects
+	// the default of 3. The cap is per task: one flaky shard cannot consume
+	// the whole budget of a healthy sweep, and a stolen sub-shard gets a
+	// fresh budget of its own.
+	MaxRetries int
+	// Interval is the journal poll period (default 1s).
+	Interval time.Duration
+	// StallAfter is how long a running task's journal may sit unchanged
+	// before a stall warning (default 60s). Warnings are per stall episode,
+	// not per poll.
+	StallAfter time.Duration
+	// StealAfter enables work stealing: a running task whose journal has
+	// not moved for this long is declared dead weight — the supervisor
+	// kills it, carves its unstarted unit range into sub-shards and
+	// reassigns them to idle launchers. Zero (the default) disables
+	// stealing, which keeps the local supervise path behavior-identical to
+	// the pre-Launcher orchestrator.
+	StealAfter time.Duration
+	// FetchInterval throttles Launcher.FetchJournal during the poll loop
+	// (default 5s): remote backends pay a round trip per fetch, so journals
+	// are pulled home at this cadence while the local tail scan still runs
+	// every Interval. Task exits always fetch immediately.
+	FetchInterval time.Duration
+}
+
+// withDefaults resolves the documented defaults without mutating p.
+func (p Policy) withDefaults() Policy {
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 3
+	}
+	if p.Interval <= 0 {
+		p.Interval = time.Second
+	}
+	if p.StallAfter <= 0 {
+		p.StallAfter = 60 * time.Second
+	}
+	if p.FetchInterval <= 0 {
+		p.FetchInterval = 5 * time.Second
+	}
+	return p
+}

@@ -8,50 +8,61 @@ import (
 	"repro/internal/batch"
 )
 
-// shardPhase is a shard's lifecycle as the supervisor sees it.
-type shardPhase int
+// taskPhase is a task's lifecycle as the progress display sees it.
+type taskPhase int
 
 const (
-	phaseRunning shardPhase = iota
+	phaseRunning taskPhase = iota
 	phaseDone
 	phaseFailed
+	phaseStolen // killed as a straggler; its remaining units reassigned
 )
 
-// shardState is the tracker's view of one shard: the latest journal scan
+// trackedTask is the tracker's view of one task: the latest journal scan
 // plus when it last moved.
-type shardState struct {
+type trackedTask struct {
+	label      string
+	units      int
 	progress   batch.JournalProgress
-	phase      shardPhase
+	phase      taskPhase
 	restarts   int
 	lastChange time.Time
 	stallSeen  bool // a stall warning was already printed for this episode
 }
 
-// tracker folds periodic journal scans into shard-aware progress: units
-// done/total per shard, an overall ETA from the observed completion rate
+// tracker folds periodic journal scans into task-aware progress: units
+// done/total per task, an overall ETA from the observed completion rate
 // (the streaming fold over everything journaled so far), and stall
-// detection for shards whose journals stop growing while their process is
-// supposedly alive. It is the supervisor's bookkeeping, split out pure so
-// the torn-tail/stall/ETA arithmetic is testable without spawning anything.
+// detection for tasks whose journals stop growing while their process is
+// supposedly alive. The task list is dynamic — every steal appends the
+// stolen sub-shards — but the denominator is the plan's fixed unit total,
+// so the global percentage never moves backwards when work is reassigned.
+// It is the supervisor's bookkeeping, split out pure so the
+// torn-tail/stall/ETA/steal arithmetic is testable without spawning
+// anything.
 type tracker struct {
-	plan   *Plan
+	total  int
 	start  time.Time
-	shards []shardState
+	tasks  []trackedTask
+	steals int
 }
 
-func newTracker(p *Plan, now time.Time) *tracker {
-	t := &tracker{plan: p, start: now, shards: make([]shardState, len(p.Shards))}
-	for i := range t.shards {
-		t.shards[i].lastChange = now
-	}
-	return t
+func newTracker(totalUnits int, now time.Time) *tracker {
+	return &tracker{total: totalUnits, start: now}
 }
 
-// observe folds shard i's latest journal scan. Progress is measured in
+// add registers a task (a planned shard at startup, a stolen sub-shard at
+// steal time) and returns its tracker index.
+func (t *tracker) add(label string, units int, now time.Time) int {
+	t.tasks = append(t.tasks, trackedTask{label: label, units: units, lastChange: now})
+	return len(t.tasks) - 1
+}
+
+// observe folds task i's latest journal scan. Progress is measured in
 // complete cells; a torn tail or a header landing also counts as movement
-// (the shard is alive and writing, just mid-line).
+// (the task is alive and writing, just mid-line).
 func (t *tracker) observe(i int, p batch.JournalProgress, now time.Time) {
-	s := &t.shards[i]
+	s := &t.tasks[i]
 	moved := p.Cells != s.progress.Cells ||
 		len(p.Specs) != len(s.progress.Specs) ||
 		p.Torn != s.progress.Torn
@@ -64,30 +75,50 @@ func (t *tracker) observe(i int, p batch.JournalProgress, now time.Time) {
 
 // setPhase records a lifecycle transition (process exited, restarted,
 // exhausted its retries).
-func (t *tracker) setPhase(i int, ph shardPhase) { t.shards[i].phase = ph }
+func (t *tracker) setPhase(i int, ph taskPhase) { t.tasks[i].phase = ph }
 
-func (t *tracker) addRestart(i int) { t.shards[i].restarts++ }
+func (t *tracker) addRestart(i int) { t.tasks[i].restarts++ }
 
-// stalled reports shards that are supposed to be running but whose journal
-// has not moved for at least threshold — the never-writes / wedged-child
-// signal. Each stall episode is reported once; new movement rearms it.
-func (t *tracker) stalled(now time.Time, threshold time.Duration) []int {
-	var out []int
-	for i := range t.shards {
-		s := &t.shards[i]
-		if s.phase == phaseRunning && !s.stallSeen && now.Sub(s.lastChange) >= threshold {
-			s.stallSeen = true
-			out = append(out, i)
-		}
-	}
-	return out
+// markStolen retires task i as a steal victim: whatever it journaled stays
+// counted, its denominator shrinks to exactly that (the rest now belongs to
+// the stolen sub-shards), and the global steal counter ticks.
+func (t *tracker) markStolen(i int) {
+	s := &t.tasks[i]
+	s.phase = phaseStolen
+	s.units = s.progress.Cells
+	t.steals++
 }
 
-// done counts cells journaled across all shards.
+// idleFor is how long task i's journal has sat unchanged — the steal
+// trigger's input.
+func (t *tracker) idleFor(i int, now time.Time) time.Duration {
+	return now.Sub(t.tasks[i].lastChange)
+}
+
+// touch rearms task i's idle clock without claiming progress — used when a
+// steal attempt could not kill the victim, so the next poll does not
+// immediately retry.
+func (t *tracker) touch(i int, now time.Time) { t.tasks[i].lastChange = now }
+
+// checkStall reports whether task i just crossed the stall threshold — the
+// never-writes / wedged-child signal. Each stall episode is reported once;
+// new movement rearms it.
+func (t *tracker) checkStall(i int, now time.Time, threshold time.Duration) bool {
+	s := &t.tasks[i]
+	if !s.stallSeen && now.Sub(s.lastChange) >= threshold {
+		s.stallSeen = true
+		return true
+	}
+	return false
+}
+
+// done counts cells journaled across all tasks. Steal windows are disjoint
+// (a thief starts past the last cell its victim journaled), so the sum
+// never double-counts a unit.
 func (t *tracker) done() int {
 	n := 0
-	for i := range t.shards {
-		n += t.shards[i].progress.Cells
+	for i := range t.tasks {
+		n += t.tasks[i].progress.Cells
 	}
 	return n
 }
@@ -96,41 +127,46 @@ func (t *tracker) done() int {
 // observed so far (zero until the first cell lands; zero again when
 // everything is done).
 func (t *tracker) eta(now time.Time) time.Duration {
-	done, total := t.done(), t.plan.TotalUnits()
+	done := t.done()
 	elapsed := now.Sub(t.start)
-	if done <= 0 || elapsed <= 0 || done >= total {
+	if done <= 0 || elapsed <= 0 || done >= t.total {
 		return 0
 	}
 	perUnit := elapsed / time.Duration(done)
-	return time.Duration(total-done) * perUnit
+	return time.Duration(t.total-done) * perUnit
 }
 
-// render is the one-line progress display: per-shard done/total with
-// restart and state markers, the global fold, and the ETA.
+// render is the one-line progress display: per-task done/total with
+// restart and state markers, the global fold, the steal count, and the ETA.
 func (t *tracker) render(now time.Time) string {
 	var b strings.Builder
-	for i := range t.shards {
-		s := &t.shards[i]
+	for i := range t.tasks {
+		s := &t.tasks[i]
 		if i > 0 {
 			b.WriteString("  ")
 		}
-		fmt.Fprintf(&b, "s%d %d/%d", t.plan.Shards[i].Index, s.progress.Cells, t.plan.Shards[i].Units)
+		fmt.Fprintf(&b, "%s %d/%d", s.label, s.progress.Cells, s.units)
 		if s.restarts > 0 {
 			fmt.Fprintf(&b, " (r%d)", s.restarts)
 		}
-		switch {
-		case s.phase == phaseFailed:
+		switch s.phase {
+		case phaseFailed:
 			b.WriteString(" FAILED")
-		case s.phase == phaseDone:
+		case phaseDone:
 			b.WriteString(" ok")
+		case phaseStolen:
+			b.WriteString(" stolen")
 		}
 	}
-	done, total := t.done(), t.plan.TotalUnits()
+	done := t.done()
 	pct := 0
-	if total > 0 {
-		pct = 100 * done / total
+	if t.total > 0 {
+		pct = 100 * done / t.total
 	}
-	fmt.Fprintf(&b, " | %d/%d units (%d%%)", done, total, pct)
+	fmt.Fprintf(&b, " | %d/%d units (%d%%)", done, t.total, pct)
+	if t.steals > 0 {
+		fmt.Fprintf(&b, " steals %d", t.steals)
+	}
 	if eta := t.eta(now); eta > 0 {
 		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
 	}

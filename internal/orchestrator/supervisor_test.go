@@ -44,12 +44,12 @@ func TestSupervisorRestartsDeadShardWithResume(t *testing.T) {
 		Plan: p,
 		Command: stubCommand(t, lastArg+`
 case "$*" in
-  *-resume*) echo '{"spec":null}' > "$j"; exit 0 ;;
+  *-resume*) echo '{"spec":{}}' > "$j"; exit 0 ;;
   *) : > "$j"; echo "simulated crash" >&2; exit 7 ;;
 esac`),
-		MaxRetries: -1, // negative = the default cap of 3
-		Log:        &log,
-		Interval:   10 * time.Millisecond,
+		// Negative retries = the default cap of 3.
+		Policy: Policy{MaxRetries: -1, Interval: 10 * time.Millisecond},
+		Log:    &log,
 	}
 	if err := s.Run(context.Background()); err != nil {
 		t.Fatalf("Run: %v\nlog:\n%s", err, log.String())
@@ -77,25 +77,24 @@ func TestSupervisorRetriesAreCapped(t *testing.T) {
 	}
 	var log bytes.Buffer
 	s := &Supervisor{
-		Plan:       p,
-		Command:    stubCommand(t, "exit 9"),
-		MaxRetries: 2,
-		Log:        &log,
-		Interval:   10 * time.Millisecond,
+		Plan:    p,
+		Command: stubCommand(t, "exit 9"),
+		Policy:  Policy{MaxRetries: 2, Interval: 10 * time.Millisecond},
+		Log:     &log,
 	}
 	err = s.Run(context.Background())
 	if err == nil {
 		t.Fatalf("Run succeeded despite permanent failure\nlog:\n%s", log.String())
 	}
-	if !strings.Contains(err.Error(), "shard 0/1 failed after 2 restart(s)") {
-		t.Fatalf("error does not name the shard and retry count: %v", err)
+	if !strings.Contains(err.Error(), "task s0 failed after 2 restart(s)") {
+		t.Fatalf("error does not name the task and retry count: %v", err)
 	}
 	if !strings.Contains(log.String(), "FAILED permanently") {
 		t.Fatalf("permanent failure not reported loudly:\n%s", log.String())
 	}
 
 	// MaxRetries 0 fails fast: the first death is already permanent.
-	s.MaxRetries = 0
+	s.Policy.MaxRetries = 0
 	err = s.Run(context.Background())
 	if err == nil || !strings.Contains(err.Error(), "after 0 restart(s)") {
 		t.Fatalf("MaxRetries=0 did not fail on the first death: %v", err)
@@ -118,10 +117,12 @@ func TestSupervisorFirstAttemptResumesExistingJournal(t *testing.T) {
 		Plan: p,
 		// Succeed only when told to resume; a fresh -out against the
 		// existing journal would be the O_EXCL failure this test guards
-		// against.
-		Command:  stubCommand(t, `case "$*" in *-resume*) exit 0 ;; *) exit 3 ;; esac`),
-		Log:      &bytes.Buffer{},
-		Interval: 10 * time.Millisecond,
+		// against. The journal it leaves behind must be complete — the
+		// supervisor judges tasks by what they journaled, not exit codes.
+		Command: stubCommand(t, lastArg+`
+case "$*" in *-resume*) echo '{"spec":{}}' > "$j"; exit 0 ;; *) exit 3 ;; esac`),
+		Log:    &bytes.Buffer{},
+		Policy: Policy{Interval: 10 * time.Millisecond},
 	}
 	if err := s.Run(context.Background()); err != nil {
 		t.Fatalf("Run: %v", err)
@@ -138,10 +139,10 @@ func TestSupervisorCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var log bytes.Buffer
 	s := &Supervisor{
-		Plan:     p,
-		Command:  stubCommand(t, "exec sleep 30"),
-		Log:      &log,
-		Interval: 10 * time.Millisecond,
+		Plan:    p,
+		Command: stubCommand(t, "exec sleep 30"),
+		Log:     &log,
+		Policy:  Policy{Interval: 10 * time.Millisecond},
 	}
 	done := make(chan error, 1)
 	go func() { done <- s.Run(ctx) }()
@@ -160,43 +161,68 @@ func TestSupervisorCancellation(t *testing.T) {
 	}
 }
 
-// TestTrackerStallDetection drives the pure tracker: a running shard whose
+// trackerOf builds a tracker holding the plan's initial task list, the way
+// the supervisor does at startup.
+func trackerOf(t *testing.T, p *Plan, t0 time.Time) *tracker {
+	t.Helper()
+	tr := newTracker(p.TotalUnits(), t0)
+	for _, pt := range p.Tasks() {
+		tr.add(pt.Label, pt.Units, t0)
+	}
+	return tr
+}
+
+// TestTrackerStallDetection drives the pure tracker: a running task whose
 // journal stops moving is flagged once per episode, and movement rearms it.
+// (Done and stolen tasks never reach checkStall — the supervisor only polls
+// running ones.)
 func TestTrackerStallDetection(t *testing.T) {
 	p, err := NewPlan(testSpec(), 2, "d")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t0 := time.Unix(1000, 0)
-	tr := newTracker(p, t0)
+	tr := trackerOf(t, p, t0)
 	threshold := 30 * time.Second
 
-	// Shard 1 writes, shard 0 never does.
+	// Task 1 writes, task 0 never does.
 	tr.observe(1, scanOf(3), t0.Add(10*time.Second))
-	if got := tr.stalled(t0.Add(20*time.Second), threshold); got != nil {
-		t.Fatalf("stall flagged too early: %v", got)
+	for i := 0; i < 2; i++ {
+		if tr.checkStall(i, t0.Add(20*time.Second), threshold) {
+			t.Fatalf("task %d stall flagged too early", i)
+		}
 	}
-	if got := tr.stalled(t0.Add(31*time.Second), threshold); len(got) != 1 || got[0] != 0 {
-		t.Fatalf("stalled = %v, want [0]", got)
+	if !tr.checkStall(0, t0.Add(31*time.Second), threshold) {
+		t.Fatal("task 0 quiet past the threshold was not flagged")
 	}
-	// Shard 0's episode is reported once; shard 1 (quiet since t0+10s) now
+	if tr.checkStall(1, t0.Add(31*time.Second), threshold) {
+		t.Fatal("task 1 flagged only 21s after its last write")
+	}
+	// Task 0's episode is reported once; task 1 (quiet since t0+10s) now
 	// crosses the threshold itself.
-	if got := tr.stalled(t0.Add(40*time.Second), threshold); len(got) != 1 || got[0] != 1 {
-		t.Fatalf("stalled = %v, want [1]", got)
+	if tr.checkStall(0, t0.Add(40*time.Second), threshold) {
+		t.Fatal("task 0's stall episode was reported twice")
 	}
-	// Movement rearms: shard 0 finally writes, goes quiet again, and is
-	// flagged a second time; shard 1's episode stays reported.
+	if !tr.checkStall(1, t0.Add(40*time.Second), threshold) {
+		t.Fatal("task 1 quiet past the threshold was not flagged")
+	}
+	// Movement rearms: task 0 finally writes, goes quiet again, and is
+	// flagged a second time; task 1's episode stays reported.
 	tr.observe(0, scanOf(1), t0.Add(45*time.Second))
-	if got := tr.stalled(t0.Add(80*time.Second), threshold); len(got) != 1 || got[0] != 0 {
-		t.Fatalf("stalled = %v, want [0] again after rearm", got)
+	if !tr.checkStall(0, t0.Add(80*time.Second), threshold) {
+		t.Fatal("task 0 not re-flagged after movement rearmed its episode")
 	}
-	// Done shards never stall.
-	tr.setPhase(0, phaseDone)
-	tr.setPhase(1, phaseDone)
-	tr.shards[0].stallSeen = false
-	tr.shards[1].stallSeen = false
-	if got := tr.stalled(t0.Add(500*time.Second), threshold); got != nil {
-		t.Fatalf("done shards flagged stalled: %v", got)
+	if tr.checkStall(1, t0.Add(80*time.Second), threshold) {
+		t.Fatal("task 1's old episode re-reported")
+	}
+	// idleFor feeds the steal trigger: task 1 has sat since t0+10s.
+	if got := tr.idleFor(1, t0.Add(80*time.Second)); got != 70*time.Second {
+		t.Fatalf("idleFor = %v, want 70s", got)
+	}
+	// touch rearms the idle clock without claiming progress.
+	tr.touch(1, t0.Add(80*time.Second))
+	if got := tr.idleFor(1, t0.Add(85*time.Second)); got != 5*time.Second {
+		t.Fatalf("idleFor after touch = %v, want 5s", got)
 	}
 }
 
@@ -208,7 +234,7 @@ func TestTrackerETA(t *testing.T) {
 		t.Fatal(err)
 	}
 	t0 := time.Unix(1000, 0)
-	tr := newTracker(p, t0)
+	tr := trackerOf(t, p, t0)
 	if tr.eta(t0.Add(time.Minute)) != 0 {
 		t.Fatal("ETA before any progress should be unknown (0)")
 	}
@@ -219,6 +245,29 @@ func TestTrackerETA(t *testing.T) {
 	}
 	line := tr.render(t0.Add(10 * time.Second))
 	for _, want := range []string{"s0 2/", "2/8 units (25%)", "eta 30s"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("render %q missing %q", line, want)
+		}
+	}
+}
+
+// TestTrackerSteals: retiring a victim freezes its denominator at what it
+// actually journaled, the global total never moves, and the render reports
+// the stolen state and the steal count.
+func TestTrackerSteals(t *testing.T) {
+	p, err := NewPlan(testSpec(), 2, "d") // 8 units, 4 per shard
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1000, 0)
+	tr := trackerOf(t, p, t0)
+	tr.observe(0, scanOf(1), t0.Add(10*time.Second))
+	tr.markStolen(0)
+	thief := tr.add("s0.1", 3, t0.Add(11*time.Second))
+	tr.observe(thief, scanOf(3), t0.Add(20*time.Second))
+	tr.setPhase(thief, phaseDone)
+	line := tr.render(t0.Add(20 * time.Second))
+	for _, want := range []string{"s0 1/1 stolen", "s0.1 3/3 ok", "4/8 units (50%)", "steals 1"} {
 		if !strings.Contains(line, want) {
 			t.Fatalf("render %q missing %q", line, want)
 		}
