@@ -10,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate large-n-smoke round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke steal-smoke ssh-smoke scenario-smoke serve-smoke ci
+.PHONY: build test vet fmt fmt-check staticcheck bench perfbench bench-gate large-n-smoke round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke steal-smoke ssh-smoke scenario-smoke serve-smoke obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -253,8 +253,48 @@ serve-smoke:
 		-n 64 -seeds 1,2 -rounds 96 -format csv -parallel 8 > /tmp/lbserved-w8.csv
 	cmp /tmp/lbserved-w1.csv /tmp/lbserved-w8.csv
 
+# Telemetry end to end, mirroring CI's obs-smoke: lbserved's Prometheus
+# exposition and pprof endpoints answer; a traced lbbench sweep produces a
+# loadable Chrome trace file while its report stays byte-identical to the
+# untraced run.
+obs-smoke:
+	$(GO) build -o /tmp/lbserved ./cmd/lbserved
+	$(GO) build -o /tmp/lbbench ./cmd/lbbench
+	/tmp/lbserved -addr 127.0.0.1:18081 -telemetry 127.0.0.1:16060 \
+		-replay testdata/mini-trace.jsonl -speedup 100x \
+		2> /tmp/obs-lbserved.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -fs http://127.0.0.1:18081/healthz >/dev/null 2>&1 && break; \
+		sleep 0.1; \
+	done; \
+	for i in $$(seq 1 600); do \
+		pending=$$(curl -fs http://127.0.0.1:18081/metrics | sed 's/.*"replay_pending"://;s/,.*//'); \
+		[ "$$pending" = "0" ] && break; \
+		sleep 0.1; \
+	done; \
+	curl -fs http://127.0.0.1:18081/metrics/prom > /tmp/obs-prom.txt; \
+	curl -fs http://127.0.0.1:16060/metrics/prom > /tmp/obs-prom-debug.txt; \
+	curl -fs http://127.0.0.1:16060/debug/pprof/goroutine?debug=1 > /dev/null; \
+	kill -TERM $$pid; wait $$pid
+	grep -q '^# TYPE lbserved_rounds_total counter' /tmp/obs-prom.txt
+	grep -q '^lbserved_arrivals_total 24' /tmp/obs-prom.txt
+	grep -q '^# TYPE lbserved_backlog_depth histogram' /tmp/obs-prom.txt
+	grep -q '^lbserved_rounds_total ' /tmp/obs-prom-debug.txt
+	/tmp/lbbench -grid -topos torus,cycle -algos diffusion,randpair \
+		-n 256 -seeds 1,2 -format csv -parallel 1 > /tmp/obs-plain.csv
+	/tmp/lbbench -grid -topos torus,cycle -algos diffusion,randpair \
+		-n 256 -seeds 1,2 -format csv -parallel 1 \
+		-trace-out /tmp/obs-trace.json > /tmp/obs-traced.csv 2> /tmp/obs-trace.log
+	cmp /tmp/obs-plain.csv /tmp/obs-traced.csv
+	jq -e '.traceEvents | length > 0' /tmp/obs-trace.json > /dev/null
+	jq -e '[.traceEvents[] | select(.cat == "unit")] | length == 16' /tmp/obs-trace.json > /dev/null
+	jq -e '[.traceEvents[] | select(.cat == "sweep")] | length == 1' /tmp/obs-trace.json > /dev/null
+	jq -e '.traceEvents | map(select(.ph == "X")) | all(.ts >= 0 and .dur >= 1)' /tmp/obs-trace.json > /dev/null
+	jq -e '([.traceEvents[] | select(.cat == "unit") | .dur] | add) >= 0.9 * ([.traceEvents[] | select(.cat == "sweep") | .dur] | add)' /tmp/obs-trace.json > /dev/null
+
 # bench-gate is not part of `make ci`: the trajectory measurement needs a
 # quiet machine to be meaningful (CI's bench-trajectory job runs it on the
 # dedicated runner). Run `make bench-gate` before committing perf-sensitive
 # changes.
-ci: build vet fmt-check staticcheck test bench round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke steal-smoke ssh-smoke scenario-smoke serve-smoke
+ci: build vet fmt-check staticcheck test bench round-smoke grid-smoke resume-smoke shard-merge-smoke orchestrator-smoke steal-smoke ssh-smoke scenario-smoke serve-smoke obs-smoke

@@ -120,6 +120,7 @@ import (
 	"repro/internal/cliflags"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/orchestrator"
 	"repro/internal/scenario"
 	"repro/internal/signals"
@@ -161,6 +162,9 @@ func main() {
 		spawn      = flag.Int("spawn", 0, "grid: orchestrate the sweep as this many shard attempts (plan, launch, supervise, merge; journals under the -out directory)")
 		emitMatrix = flag.String("emit-matrix", "", "grid: with -spawn m, print the shard plan as a CI/cluster fan-out (github, slurm, shell) instead of running it")
 		launch     = cliflags.RegisterLaunch(flag.CommandLine)
+
+		obsFlags  = cliflags.RegisterObs(flag.CommandLine)
+		profFlags = cliflags.RegisterProfile(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -194,6 +198,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
 		os.Exit(exitUsage)
 	}
+	// Telemetry and profiling wrap the whole run. All of it is out-of-band —
+	// spans and profiles never touch stdout or a journal, so traced and
+	// untraced runs emit byte-identical reports.
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lbbench: "+format+"\n", args...)
+	}
+	tracer, stopObs, err := obsFlags.Start(logf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		os.Exit(exitUsage)
+	}
+	stopProf, err := profFlags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+		os.Exit(exitUsage)
+	}
 	gf := gridFlags{
 		grid:   gridDef,
 		format: output.Format, out: *out, resume: *resume,
@@ -201,6 +221,7 @@ func main() {
 		unitLo: unitLo, unitHi: unitHi, origin: *origin,
 		merge:     *merge,
 		streamAgg: output.StreamAgg, gridSet: *grid,
+		tracer: tracer,
 	}
 	var code int
 	switch {
@@ -215,8 +236,17 @@ func main() {
 		}
 		code = runExperiments(*exp, *seed, *quick, *csv, gridDef.Parallel, rw, shardI, shardM)
 	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+	}
+	if err := stopObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "lbbench: %v\n", err)
+	}
 	if *cacheStats {
-		fmt.Fprintf(os.Stderr, "lbbench: speccache: %s\n", speccache.Shared().Stats())
+		st := speccache.Shared().Stats()
+		fmt.Fprintf(os.Stderr, "lbbench: speccache: %s\n", st)
+		fmt.Fprintf(os.Stderr, "lbbench: solve paths: closed-form %d, dense %d, lanczos %d, inverse-power (CG) %d\n",
+			st.Solves.ClosedForm, st.Solves.Dense, st.Solves.Lanczos, st.Solves.InversePower)
 	}
 	os.Exit(code)
 }
@@ -312,6 +342,7 @@ func runSpawn(f gridFlags, m int, emitMatrix string, launch *cliflags.Launch) in
 		Launchers: launchers,
 		Policy:    launch.Policy(),
 		Log:       os.Stderr,
+		Tracer:    f.tracer,
 	}
 	code := sup.RunAndReport(ctx, f.streamAgg, os.Stdout)
 	if code == exitInterrupted {
@@ -410,6 +441,8 @@ type gridFlags struct {
 	// origin is the -origin provenance string for the -out journal header.
 	origin    string
 	streamAgg bool
+	// tracer records the sweep's spans when -trace-out is set (nil = off).
+	tracer *obs.Tracer
 	// gridSet records whether -grid was given explicitly (a bare -merge
 	// renders from the journals' own headers, without trusting the grid
 	// flags' defaults).
@@ -583,7 +616,7 @@ func runGrid(f gridFlags) int {
 	if js != nil {
 		sink = js
 	}
-	report, runErr := core.GridRun(ctx, spec, core.GridResume(journal), core.GridSink(sink))
+	report, runErr := core.GridRun(ctx, spec, core.GridResume(journal), core.GridSink(sink), core.GridTrace(f.tracer))
 	if report == nil {
 		fmt.Fprintf(os.Stderr, "lbbench: %v\n", runErr)
 		return 2
@@ -641,7 +674,7 @@ func runGridStream(ctx context.Context, spec batch.Spec, journal *batch.Journal,
 	if js != nil {
 		sink = batch.MultiSink{js, agg}
 	}
-	_, runErr := core.GridRun(ctx, spec, core.GridStreamOnly(), core.GridResume(journal), core.GridSink(sink))
+	_, runErr := core.GridRun(ctx, spec, core.GridStreamOnly(), core.GridResume(journal), core.GridSink(sink), core.GridTrace(f.tracer))
 	rep := agg.Report()
 	if code := renderAggReport(rep, f.format); code != 0 {
 		return code

@@ -51,6 +51,7 @@ func run() int {
 		grid       = cliflags.RegisterGrid(flag.CommandLine)
 		output     = cliflags.RegisterOutput(flag.CommandLine)
 		launch     = cliflags.RegisterLaunch(flag.CommandLine)
+		obsFlags   = cliflags.RegisterObs(flag.CommandLine)
 	)
 	flag.Parse()
 
@@ -97,6 +98,14 @@ func run() int {
 		return 2
 	}
 
+	tracer, stopObs, err := obsFlags.Start(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lborch: "+format+"\n", args...)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lborch: %v\n", err)
+		return 2
+	}
+
 	ctx, stop := signals.Graceful(context.Background())
 	defer stop()
 	sup := &orchestrator.Supervisor{
@@ -105,8 +114,12 @@ func run() int {
 		Launchers: launchers,
 		Policy:    launch.Policy(),
 		Log:       os.Stderr,
+		Tracer:    tracer,
 	}
 	code := sup.RunAndReport(ctx, output.StreamAgg, os.Stdout)
+	if err := stopObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "lborch: %v\n", err)
+	}
 	if code == 3 {
 		fmt.Fprintln(os.Stderr, "lborch: interrupted — re-run the same command to resume every shard")
 	}

@@ -4,10 +4,16 @@
 // from recorded traces at a controllable speed-up, and exposes live
 // observability:
 //
-//	POST /arrive    {"node":3,"amt":1200} or an array of such objects
-//	GET  /metrics   backlog percentiles, rebalance latency, per-node
-//	                queue depth, rounds/sec, Φ trajectory summary
-//	GET  /healthz   liveness + current round
+//	POST /arrive         {"node":3,"amt":1200} or an array of such objects
+//	GET  /metrics        backlog percentiles, rebalance latency, per-node
+//	                     queue depth, rounds/sec, Φ trajectory summary (JSON)
+//	GET  /metrics/prom   the same counters in Prometheus text exposition
+//	GET  /debug/pprof/   live profiling (goroutine, heap, 30s CPU profile)
+//	GET  /healthz        liveness + current round
+//
+// All endpoints share the -addr listener; -telemetry binds /metrics/prom and
+// /debug/pprof/* on a second (typically loopback-only) address as well, so
+// ingest and observability can sit behind different firewalls.
 //
 // Replay a captured trace at 100× real time, re-recording what lands:
 //
@@ -40,6 +46,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cliflags"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/serve"
 	"repro/internal/signals"
@@ -72,6 +79,7 @@ func run() int {
 		recordPath   = fs.String("record", "", "record every injected arrival to this JSONL trace (replayable via -replay or lbbench -scenarios trace:<file>)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain wall-clock budget")
 		drainRounds  = fs.Int("drain-rounds", 4096, "graceful-drain round budget")
+		telemetry    = fs.String("telemetry", "", "serve /metrics/prom and /debug/pprof/* on a second listener at this address (they are also on -addr; empty = off)")
 	)
 	var roundWorkersFlag string
 	cliflags.RegisterRoundWorkers(fs, &roundWorkersFlag)
@@ -173,6 +181,19 @@ func run() int {
 			return exitFailure
 		}
 		defer record.Close()
+	}
+
+	// The ingest listener (-addr) already serves /metrics/prom and
+	// /debug/pprof/*; -telemetry binds a second, typically loopback-only,
+	// listener so operators can firewall ingest and observability apart.
+	if *telemetry != "" {
+		debugAddr, stopDebug, err := obs.ServeDebug(*telemetry, obs.Default())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lbserved: -telemetry: %v\n", err)
+			return exitUsage
+		}
+		defer stopDebug()
+		logger.Printf("telemetry: /metrics/prom and /debug/pprof/ on http://%s", debugAddr)
 	}
 
 	srv, err := serve.New(serve.Options{

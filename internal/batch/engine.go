@@ -186,7 +186,9 @@ func runSink(ctx context.Context, spec Spec, run RunFunc, sink Sink, replay map[
 	}
 	parallel.ForDynamic(len(units), unitWorkers, func(i int) {
 		if seq != nil {
+			w0 := time.Now()
 			seq.acquire(i)
+			sinkWait.Observe(time.Since(w0).Seconds())
 		}
 		c := execUnit(ctx, spec, units[i], graphs[units[i].Topology], run, replay)
 		if collect {
@@ -277,6 +279,7 @@ func execUnit(ctx context.Context, spec Spec, u Unit, g *graph.G, run RunFunc, r
 	if out, ok := replay[u.Key()]; ok {
 		c.Outcome = out
 		c.finish(g.N())
+		unitsReplayed.Inc()
 		return c
 	}
 	if ctx != nil && ctx.Err() != nil {
@@ -286,6 +289,7 @@ func execUnit(ctx context.Context, spec Spec, u Unit, g *graph.G, run RunFunc, r
 	defer func() {
 		if r := recover(); r != nil {
 			c = Cell{Unit: u, Err: fmt.Sprintf("batch: unit %d panicked: %v", u.Index, r)}
+			unitsFailed.Inc()
 		}
 	}()
 	// Both streams hang off the unit key, not the grid position, so a
@@ -299,11 +303,14 @@ func execUnit(ctx context.Context, spec Spec, u Unit, g *graph.G, run RunFunc, r
 	out, err := run(u, g, loads, algoSeed)
 	c.Outcome = out
 	c.Wall = time.Since(unitStart)
+	unitWall.Observe(c.Wall.Seconds())
 	if err != nil {
 		c.Err = err.Error()
+		unitsFailed.Inc()
 		return c
 	}
 	c.finish(g.N())
+	unitsDone.Inc()
 	return c
 }
 

@@ -1,0 +1,21 @@
+package batch
+
+import "repro/internal/obs"
+
+// Always-on engine metrics on the process-wide registry. These are
+// per-unit events — one atomic op against work that costs milliseconds to
+// minutes — so they need no enable switch; the round-level hot loop inside
+// a unit stays untouched.
+var (
+	unitsDone = obs.Default().Counter("batch_units_total",
+		"Sweep units by final disposition.", obs.L("result", "done"))
+	unitsFailed = obs.Default().Counter("batch_units_total",
+		"Sweep units by final disposition.", obs.L("result", "failed"))
+	unitsReplayed = obs.Default().Counter("batch_units_total",
+		"Sweep units by final disposition.", obs.L("result", "replayed"))
+	unitWall = obs.Default().Histogram("batch_unit_seconds",
+		"Wall time per executed sweep unit.", obs.ExpBuckets(1e-4, 4, 14))
+	sinkWait = obs.Default().Histogram("batch_sink_wait_seconds",
+		"Time a finished worker blocked on the sequencer's ordered-delivery window.",
+		obs.ExpBuckets(1e-6, 4, 14))
+)

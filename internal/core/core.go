@@ -28,6 +28,7 @@ import (
 	"repro/internal/diffusion"
 	"repro/internal/dimexchange"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/randpair"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -167,6 +168,14 @@ type Config struct {
 	// from Seed so enabling a scenario never perturbs the algorithm's
 	// draws (default: Seed).
 	ScenarioSeed int64
+	// Phases, when non-nil, accumulates per-phase wall time (spectra,
+	// step, inject, commit, graph-swap) for this run — the session-level
+	// hook of the telemetry layer (internal/obs). The nil default
+	// collects nothing and costs nothing: every clock read in the round
+	// loop is gated behind the nil check, so untelemetered runs keep the
+	// zero-allocation hot loop. Timings are observational only; they
+	// never influence the run, so results are byte-identical either way.
+	Phases *obs.Phases
 }
 
 // Result reports a completed run.

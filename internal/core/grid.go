@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // GridOption configures one GridRun invocation.
@@ -17,6 +18,7 @@ type gridOptions struct {
 	shard, of  int
 	sharded    bool
 	streamOnly bool
+	tracer     *obs.Tracer
 }
 
 // GridSink streams every finished cell to sink in expansion order as the
@@ -54,6 +56,16 @@ func GridStreamOnly() GridOption {
 	return func(o *gridOptions) { o.streamOnly = true }
 }
 
+// GridTrace records the sweep's execution as hierarchical spans on tr: a
+// root sweep span, one span per executed unit (replayed units emit
+// nothing — they do no work) and synthetic per-phase child spans from the
+// session's phase timings. The trace is written out-of-band — it never
+// touches the sink's stream or the report, whose bytes stay identical to
+// an untraced run. A nil tr is the no-op default.
+func GridTrace(tr *obs.Tracer) GridOption {
+	return func(o *gridOptions) { o.tracer = tr }
+}
+
 // GridRun expands the declarative sweep spec into independent run units
 // and executes every (topology × algorithm × mode × workload × scenario ×
 // seed) combination through Balance on the batch engine's worker pool.
@@ -89,11 +101,27 @@ func GridRun(ctx context.Context, spec batch.Spec, opts ...GridOption) (*batch.R
 	if err := validateGridSpec(spec); err != nil {
 		return nil, err
 	}
-	run := balanceRunFunc(spec)
-	if o.streamOnly {
-		return nil, batch.ResumeStream(ctx, spec, run, o.journal, o.sink)
+	run := balanceRunFunc(spec, o.tracer)
+	var sweepStart int64
+	if o.tracer.Enabled() {
+		o.tracer.ThreadName(0, "sweep")
+		sweepStart = o.tracer.Now()
 	}
-	return batch.Resume(ctx, spec, run, o.journal, o.sink)
+	var rep *batch.Report
+	var err error
+	if o.streamOnly {
+		err = batch.ResumeStream(ctx, spec, run, o.journal, o.sink)
+	} else {
+		rep, err = batch.Resume(ctx, spec, run, o.journal, o.sink)
+	}
+	if o.tracer.Enabled() {
+		o.tracer.Complete("sweep", "sweep", 0, sweepStart, map[string]any{
+			"topologies": spec.Topologies, "algorithms": spec.Algorithms,
+			"n": spec.N, "seeds": len(spec.Seeds),
+		})
+		_ = o.tracer.Flush()
+	}
+	return rep, err
 }
 
 // ValidateGridSpec rejects every spec GridRun would reject, without
@@ -130,7 +158,11 @@ func validateGridSpec(spec batch.Spec) error {
 // worker width is resolved from the spec's hybrid split once, up front —
 // every unit's stepper fans its node loops that wide (results are
 // byte-identical for any width, so this is purely a scheduling choice).
-func balanceRunFunc(spec batch.Spec) batch.RunFunc {
+// With a non-nil tracer each executed unit emits a complete span (on a
+// leased tid, so concurrent units render as separate rows) with synthetic
+// child spans for the session phases; with the nil default the Config
+// carries a nil Phases and the unit runs with zero telemetry cost.
+func balanceRunFunc(spec batch.Spec, tracer *obs.Tracer) batch.RunFunc {
 	_, roundWorkers := spec.WorkerSplit()
 	return func(u batch.Unit, g *graph.G, loads []float64, algoSeed int64) (batch.Outcome, error) {
 		alg, err := ParseAlgorithm(u.Algorithm)
@@ -140,6 +172,13 @@ func balanceRunFunc(spec batch.Spec) batch.RunFunc {
 		mode := Continuous
 		if u.Mode == "discrete" {
 			mode = Discrete
+		}
+		var phases *obs.Phases
+		var tid, unitStart int64
+		if tracer.Enabled() {
+			phases = &obs.Phases{}
+			tid = tracer.AcquireTID()
+			unitStart = tracer.Now()
 		}
 		res, err := Balance(Config{
 			Graph:        g,
@@ -152,7 +191,17 @@ func balanceRunFunc(spec batch.Spec) batch.RunFunc {
 			Workers:      roundWorkers,
 			Scenario:     u.ScenarioSpec,
 			ScenarioSeed: nonZeroSeed(u.ScenarioSeed()),
+			Phases:       phases,
 		})
+		if tracer.Enabled() {
+			args := map[string]any{
+				"unit": u.Index, "n": g.N(), "seed": u.Seed,
+				"rounds": res.Rounds,
+			}
+			tracer.Complete(u.Key(), "unit", tid, unitStart, args)
+			phases.EmitSpans(tracer, tid, unitStart)
+			tracer.ReleaseTID(tid)
+		}
 		if err != nil {
 			return batch.Outcome{}, fmt.Errorf("%s: %w", u.Key(), err)
 		}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/diffusion"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/randpair"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -65,6 +67,10 @@ type Session struct {
 	lastEvent  int // round index of the most recent load injection
 	rebalanced int // first round with Φ ≤ target since lastEvent; -1 while above
 	closed     bool
+
+	// phases accumulates per-phase wall time when cfg.Phases is set; nil
+	// (the default) keeps the round loop free of clock reads entirely.
+	phases *obs.Phases
 }
 
 // SessionMetrics is a point-in-time view of a live session — the numbers
@@ -105,6 +111,7 @@ func Open(cfg Config) (*Session, error) {
 		algoRNG:    rand.New(rand.NewSource(cfg.Seed)),
 		runSpectra: speccache.New(),
 		rebalanced: -1,
+		phases:     cfg.Phases,
 	}
 
 	// Spectral inputs for the bounds (skipped for RandomPartners, whose
@@ -113,7 +120,14 @@ func Open(cfg Config) (*Session, error) {
 	// — pay for the eigensolve once per process.
 	n := cfg.Graph.N()
 	if cfg.Algorithm != RandomPartners && cfg.Graph.IsConnected() && n >= 2 {
+		var t0 time.Time
+		if s.phases.Enabled() {
+			t0 = time.Now()
+		}
 		l2, err := speccache.Lambda2(cfg.Graph)
+		if s.phases.Enabled() {
+			s.phases.Observe(obs.PhaseSpectra, time.Since(t0))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: λ₂: %w", err)
 		}
@@ -204,7 +218,13 @@ func (s *Session) Step() error {
 	if s.midRound {
 		return errors.New("core: Step called twice without Commit")
 	}
-	s.sys.Step()
+	if s.phases.Enabled() {
+		t0 := time.Now()
+		s.sys.Step()
+		s.phases.Observe(obs.PhaseStep, time.Since(t0))
+	} else {
+		s.sys.Step()
+	}
 	s.midRound = true
 	return nil
 }
@@ -222,7 +242,14 @@ func (s *Session) Inject(arrivals []scenario.Arrival) (float64, error) {
 	if !s.midRound {
 		return 0, errors.New("core: Inject outside a round (call Step first)")
 	}
+	var t0 time.Time
+	if s.phases.Enabled() {
+		t0 = time.Now()
+	}
 	total, err := inject(s.sys, s.cfg.Mode, arrivals)
+	if s.phases.Enabled() {
+		s.phases.Observe(obs.PhaseInject, time.Since(t0))
+	}
 	if err != nil {
 		return 0, err
 	}
@@ -253,7 +280,14 @@ func (s *Session) SwapGraph(g *graph.G) error {
 	if g == s.base {
 		spectra = speccache.Shared()
 	}
+	var t0 time.Time
+	if s.phases.Enabled() {
+		t0 = time.Now()
+	}
 	sys, err := buildSystemOn(s.cfg, g, currentLoads(s.sys, s.cfg.Mode), s.algoRNG, spectra)
+	if s.phases.Enabled() {
+		s.phases.Observe(obs.PhaseGraphSwap, time.Since(t0))
+	}
 	if err != nil {
 		return err
 	}
@@ -271,7 +305,14 @@ func (s *Session) Commit() (float64, error) {
 	if !s.midRound {
 		return 0, errors.New("core: Commit without Step")
 	}
+	var t0 time.Time
+	if s.phases.Enabled() {
+		t0 = time.Now()
+	}
 	phi := s.sys.Potential()
+	if s.phases.Enabled() {
+		s.phases.Observe(obs.PhaseCommit, time.Since(t0))
+	}
 	s.rounds++
 	s.trace = append(s.trace, phi)
 	if phi > s.peak {

@@ -92,6 +92,7 @@ type Continuous struct {
 	Workers int
 
 	next matrix.Vector // scratch for the round-start/next double buffer
+	body func(i int)   // the round body, built once (see Step)
 }
 
 // NewContinuous creates a stepper over a copy of the initial loads.
@@ -114,40 +115,45 @@ func NewContinuous(g *graph.G, initial []float64) *Continuous {
 func (c *Continuous) Step() {
 	g, cur := c.G, c.Load.Vector()
 	n := g.N()
-	if c.next == nil {
+	if c.body == nil {
 		c.next = make(matrix.Vector, n)
-	}
-	// The round body scans the CSR rows — one contiguous index stream —
-	// instead of pointer-chasing per-node slices. Neighbour order and the
-	// floating-point operation chain are identical to the slice form (the CSR
-	// contract in graph.CSR), so checksums match bit-for-bit.
-	off, tgt := g.CSR()
-	body := func(i int) {
-		li := cur[i]
-		acc := li
-		// Reslicing the row once keeps the inner loop free of repeated
-		// offset loads and target bounds checks.
-		row := tgt[off[i]:off[i+1]]
-		di := len(row)
-		for _, j := range row {
-			lj := cur[j]
-			if li == lj {
-				continue
+		// The round body scans the CSR rows — one contiguous index stream —
+		// instead of pointer-chasing per-node slices. Neighbour order and the
+		// floating-point operation chain are identical to the slice form (the
+		// CSR contract in graph.CSR), so checksums match bit-for-bit. The
+		// closure is built once: the graph, the CSR arrays and the load
+		// vector's backing storage are all fixed for the stepper's lifetime,
+		// and a per-Step closure would put one heap allocation in the round
+		// hot loop.
+		off, tgt := g.CSR()
+		next := c.next
+		c.body = func(i int) {
+			li := cur[i]
+			acc := li
+			// Reslicing the row once keeps the inner loop free of repeated
+			// offset loads and target bounds checks.
+			row := tgt[off[i]:off[i+1]]
+			di := len(row)
+			for _, j := range row {
+				lj := cur[j]
+				if li == lj {
+					continue
+				}
+				d := di
+				if dj := int(off[j+1] - off[j]); dj > d {
+					d = dj
+				}
+				w := math.Abs(li-lj) / (4 * float64(d))
+				if li > lj {
+					acc -= w
+				} else {
+					acc += w
+				}
 			}
-			d := di
-			if dj := int(off[j+1] - off[j]); dj > d {
-				d = dj
-			}
-			w := math.Abs(li-lj) / (4 * float64(d))
-			if li > lj {
-				acc -= w
-			} else {
-				acc += w
-			}
+			next[i] = acc
 		}
-		c.next[i] = acc
 	}
-	parallel.For(n, parallel.StepperWorkers(c.Workers), body)
+	parallel.For(n, parallel.StepperWorkers(c.Workers), c.body)
 	copy(cur, c.next)
 }
 
@@ -165,6 +171,7 @@ type Discrete struct {
 	Workers int
 
 	next []int64
+	body func(i int) // the round body, built once (see Step)
 }
 
 // NewDiscrete creates a stepper over a copy of the initial token counts.
@@ -182,34 +189,37 @@ func NewDiscrete(g *graph.G, initial []int64) *Discrete {
 func (d *Discrete) Step() {
 	g, cur := d.G, d.Load.Tokens()
 	n := g.N()
-	if d.next == nil {
+	if d.body == nil {
 		d.next = make([]int64, n)
-	}
-	off, tgt := g.CSR()
-	body := func(i int) {
-		li := cur[i]
-		acc := li
-		row := tgt[off[i]:off[i+1]]
-		di := len(row)
-		for _, j := range row {
-			lj := cur[j]
-			if li == lj {
-				continue
+		// Built once for the stepper's lifetime, like Continuous.Step — a
+		// per-Step closure would be one heap allocation per round.
+		off, tgt := g.CSR()
+		next := d.next
+		d.body = func(i int) {
+			li := cur[i]
+			acc := li
+			row := tgt[off[i]:off[i+1]]
+			di := len(row)
+			for _, j := range row {
+				lj := cur[j]
+				if li == lj {
+					continue
+				}
+				d := di
+				if dj := int(off[j+1] - off[j]); dj > d {
+					d = dj
+				}
+				w := int64(math.Abs(float64(li)-float64(lj)) / (4 * float64(d)))
+				if li > lj {
+					acc -= w
+				} else {
+					acc += w
+				}
 			}
-			d := di
-			if dj := int(off[j+1] - off[j]); dj > d {
-				d = dj
-			}
-			w := int64(math.Abs(float64(li)-float64(lj)) / (4 * float64(d)))
-			if li > lj {
-				acc -= w
-			} else {
-				acc += w
-			}
+			next[i] = acc
 		}
-		d.next[i] = acc
 	}
-	parallel.For(n, parallel.StepperWorkers(d.Workers), body)
+	parallel.For(n, parallel.StepperWorkers(d.Workers), d.body)
 	copy(cur, d.next)
 }
 

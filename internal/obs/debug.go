@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// RegisterDebug mounts the telemetry endpoints on mux: Prometheus text
+// exposition of reg at /metrics/prom, and the pprof handler family under
+// /debug/pprof/. The pprof routes are mounted explicitly rather than via
+// net/http/pprof's DefaultServeMux side effect, so daemons with their own
+// mux (lbserved) get them without exposing DefaultServeMux.
+func RegisterDebug(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("/metrics/prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// RegisterRuntime registers process-level gauges (goroutines, heap bytes)
+// sampled at scrape time.
+func RegisterRuntime(reg *Registry) {
+	reg.GaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+}
+
+// ServeDebug starts the -telemetry debug listener on addr, serving
+// /metrics/prom and /debug/pprof/* in a background goroutine. It returns
+// the bound address (useful with ":0") and a shutdown func. The server is
+// best-effort diagnostics: serve errors after a successful bind are
+// dropped.
+func ServeDebug(addr string, reg *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	RegisterDebug(mux, reg)
+	RegisterRuntime(reg)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke_total", "Smoke.").Add(3)
+	addr, stop, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics/prom")
+	if code != 200 {
+		t.Fatalf("/metrics/prom status %d", code)
+	}
+	for _, want := range []string{"# TYPE smoke_total counter", "smoke_total 3", "# TYPE go_goroutines gauge"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/pprof/goroutine?debug=1")
+	if code != 200 {
+		t.Fatalf("/debug/pprof/goroutine status %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof goroutine output unexpected: %.80s", body)
+	}
+}
+
+func TestStartCPUProfileAndHeap(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartCPUProfile(dir + "/cpu.pprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something in it.
+	x := 0.0
+	for i := 0; i < 1_000_00; i++ {
+		x += float64(i) * 1.0000001
+	}
+	_ = x
+	stop()
+	if err := WriteHeapProfile(dir + "/heap.pprof"); err != nil {
+		t.Fatal(err)
+	}
+}

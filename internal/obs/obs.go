@@ -1,0 +1,35 @@
+// Package obs is the unified telemetry layer: a process-wide metrics
+// registry (counters, gauges, fixed-bucket histograms with atomic hot paths
+// and Prometheus text-format exposition), a span tracer emitting
+// hierarchical spans to a JSONL event log and a Chrome trace-event
+// (Perfetto-loadable) export, and profiling hooks (a pprof+/metrics debug
+// listener, CPU/heap profile capture) shared by every layer of the system —
+// cell (core.Session phase timings), sweep (batch engine unit accounting),
+// and fleet (orchestrator task lifecycle).
+//
+// Design constraints, in order:
+//
+//  1. Off is free. The nil *Tracer and nil *Phases are valid receivers
+//     whose methods are no-ops, and every hot-loop call site gates its
+//     time.Now() pair behind the nil check, so a run with telemetry
+//     disabled executes the identical instruction stream — the round hot
+//     loop stays at zero allocations (gated by an AllocsPerRun test) and
+//     every byte-identity guarantee of the batch engine holds unchanged.
+//
+//  2. On is out-of-band. Metrics live in process memory until scraped;
+//     spans stream to their own event log. Neither ever writes into a
+//     result journal or a rendered report, so a traced sweep's outputs are
+//     byte-identical to an untraced one.
+//
+//  3. Always-on counters are atomic. Registry metrics (cache hits, units
+//     done, steals per backend) are single atomic ops on paths that cost
+//     milliseconds per increment, so they need no enable switch at all.
+package obs
+
+// Default is the process-wide registry every subsystem registers its
+// metrics on — the one /metrics/prom and the -telemetry debug listener
+// expose.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }

@@ -26,6 +26,7 @@ type trackedTask struct {
 	progress   batch.JournalProgress
 	phase      taskPhase
 	restarts   int
+	carved     int // sub-shards stolen out of this task
 	lastChange time.Time
 	stallSeen  bool // a stall warning was already printed for this episode
 }
@@ -88,6 +89,10 @@ func (t *tracker) markStolen(i int) {
 	s.units = s.progress.Cells
 	t.steals++
 }
+
+// recordCarve notes that k sub-shards were minted out of task i — the
+// per-task cumulative steal count the final summary reports.
+func (t *tracker) recordCarve(i, k int) { t.tasks[i].carved += k }
 
 // idleFor is how long task i's journal has sat unchanged — the steal
 // trigger's input.
@@ -169,6 +174,23 @@ func (t *tracker) render(now time.Time) string {
 	}
 	if eta := t.eta(now); eta > 0 {
 		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+	}
+	return b.String()
+}
+
+// summary is the post-mortem line printed once after the supervise loop:
+// every task with its cumulative restart and steal counts, so "which shard
+// was restarted, which was carved, and how often" is answered by the log
+// itself instead of by grepping journal origin headers.
+func (t *tracker) summary() string {
+	var b strings.Builder
+	b.WriteString("task summary:")
+	for i := range t.tasks {
+		s := &t.tasks[i]
+		fmt.Fprintf(&b, " %s restarts=%d stolen=%d", s.label, s.restarts, s.carved)
+		if i < len(t.tasks)-1 {
+			b.WriteByte(',')
+		}
 	}
 	return b.String()
 }

@@ -12,7 +12,27 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/obs"
 )
+
+// Per-backend fleet counters on the process-wide registry — always on;
+// every event here already costs a process spawn or a log line.
+func backendCounter(name, help, backend string) *obs.Counter {
+	return obs.Default().Counter(name, help, obs.L("backend", backend))
+}
+
+func countLaunch(backend string) {
+	backendCounter("orchestrator_launches_total", "Task attempts launched, by backend.", backend).Inc()
+}
+func countRestart(backend string) {
+	backendCounter("orchestrator_restarts_total", "Task attempts restarted after a death, by backend.", backend).Inc()
+}
+func countStall(backend string) {
+	backendCounter("orchestrator_stalls_total", "Stall warnings fired, by backend.", backend).Inc()
+}
+func countSteal(backend string) {
+	backendCounter("orchestrator_steals_total", "Steal victims carved, by backend.", backend).Inc()
+}
 
 // Supervisor executes a Plan across one or more Launchers — local
 // subprocesses by default (all sharing the inherited environment; point
@@ -51,6 +71,12 @@ type Supervisor struct {
 	// os.Stderr). Child stderr goes to per-task files under Plan.Dir, so
 	// Log stays readable.
 	Log io.Writer
+	// Tracer, when non-nil, records the fleet's task lifecycle as spans:
+	// one complete span per attempt (launch → exit) on a per-task row,
+	// instant events for stalls, steals and restarts, and the final merge
+	// as its own span. Out-of-band like all telemetry — journals and the
+	// rendered report are unaffected. Nil is the no-op default.
+	Tracer *obs.Tracer
 
 	// finalJournals is the journal set Run actually produced — the planned
 	// shards plus any stolen sub-shards — for RunAndReport's merge.
@@ -80,6 +106,9 @@ type task struct {
 	tailer    *batch.JournalTailer
 	lastFetch time.Time
 	err       error
+
+	tid          int64 // trace row (tracker index + 1; 0 is the merge/root row)
+	attemptStart int64 // µs on the tracer clock when the running attempt launched
 }
 
 // exitEvent is one attempt's Wait result, posted to the supervise loop.
@@ -188,6 +217,8 @@ func (s *Supervisor) Run(ctx context.Context) error {
 		}
 	}
 	fmt.Fprintf(log, "orchestrator: %s\n", r.tr.render(now))
+	fmt.Fprintf(log, "orchestrator: %s\n", r.tr.summary())
+	_ = s.Tracer.Flush()
 
 	s.finalJournals = nil
 	for _, t := range r.tasks {
@@ -223,6 +254,8 @@ func (r *run) addTask(t *Task, gen int) *task {
 		gen:    gen,
 		tailer: batch.NewJournalTailer(t.Journal),
 	}
+	tt.tid = int64(tt.tr) + 1
+	r.s.Tracer.ThreadName(tt.tid, t.Label)
 	r.tasks = append(r.tasks, tt)
 	return tt
 }
@@ -279,6 +312,8 @@ func (r *run) schedule() {
 			return
 		}
 		resume := journalExists(t.Journal)
+		countLaunch(l.Name())
+		t.attemptStart = r.s.Tracer.Now()
 		h, err := l.Launch(r.ctx, t.Task, r.s.Plan.TaskArgs(t.Task, resume))
 		if err != nil {
 			t.launcher = l
@@ -286,6 +321,8 @@ func (r *run) schedule() {
 			r.handleExit(t, fmt.Errorf("launch on %s: %w", l.Name(), err))
 			continue
 		}
+		r.s.Tracer.Instant("launch", "orchestrator", t.tid,
+			map[string]any{"task": t.Label, "backend": l.Name(), "attempt": t.attempt, "resume": resume})
 		t.state, t.launcher, t.handle = schedRunning, l, h
 		t.lastFetch = time.Now()
 		r.used[l]++
@@ -331,6 +368,7 @@ func (r *run) poll() {
 		}
 		if r.pol.StealAfter > 0 && t.gen < maxGen && r.tr.idleFor(t.tr, now) >= r.pol.StealAfter {
 			r.logf("task %s stalled for %s — killing it to steal its remaining units", t.Label, r.pol.StealAfter)
+			r.s.Tracer.Instant("steal-kill", "orchestrator", t.tid, map[string]any{"task": t.Label})
 			if err := t.launcher.Signal(t.handle, syscall.SIGKILL); err != nil {
 				r.logf("task %s: kill: %v", t.Label, err)
 				r.tr.touch(t.tr, now) // rearm instead of hammering every tick
@@ -340,6 +378,8 @@ func (r *run) poll() {
 			continue
 		}
 		if r.tr.checkStall(t.tr, now, r.pol.StallAfter) {
+			countStall(t.launcher.Name())
+			r.s.Tracer.Instant("stall", "orchestrator", t.tid, map[string]any{"task": t.Label})
 			r.logf("task %s looks stalled: journal %s unchanged for %s", t.Label, t.Journal, r.pol.StallAfter)
 		}
 	}
@@ -361,6 +401,16 @@ func (r *run) handleExit(t *task, waitErr error) {
 	p, _ := batch.ScanJournalProgressFile(t.Journal)
 	now := time.Now()
 	r.tr.observe(t.tr, p, now)
+	if r.s.Tracer.Enabled() {
+		status := "ok"
+		if waitErr != nil {
+			status = waitErr.Error()
+		}
+		r.s.Tracer.Complete("attempt", "orchestrator", t.tid, t.attemptStart, map[string]any{
+			"task": t.Label, "backend": t.launcher.Name(), "attempt": t.attempt,
+			"cells": p.Cells, "status": status,
+		})
+	}
 
 	if t.state == schedStealing && r.ctx.Err() == nil {
 		// The kill was ours; the exit finalizes the steal. The victim's
@@ -368,6 +418,9 @@ func (r *run) handleExit(t *task, waitErr error) {
 		// thieves own everything past its last complete cell.
 		k := r.carve(t, p)
 		r.tr.markStolen(t.tr)
+		r.tr.recordCarve(t.tr, k)
+		countSteal(t.launcher.Name())
+		r.s.Tracer.Instant("steal", "orchestrator", t.tid, map[string]any{"task": t.Label, "sub_shards": k})
 		t.state = schedDone
 		if k > 0 {
 			r.logf("task %s killed at %d/%d units — remaining units reassigned to %d stolen sub-shard(s)",
@@ -417,6 +470,9 @@ func (r *run) handleExit(t *task, waitErr error) {
 			// alternative to failing the sweep.
 			if k := r.carve(t, p); k > 0 {
 				r.tr.markStolen(t.tr)
+				r.tr.recordCarve(t.tr, k)
+				countSteal(t.launcher.Name())
+				r.s.Tracer.Instant("steal", "orchestrator", t.tid, map[string]any{"task": t.Label, "sub_shards": k})
 				t.state = schedDone
 				r.logf("task %s died past its retry cap (%v) at %d/%d units — remaining units reassigned to %d stolen sub-shard(s)",
 					t.Label, waitErr, p.Cells, t.Units, k)
@@ -433,6 +489,8 @@ func (r *run) handleExit(t *task, waitErr error) {
 	t.attempt++
 	t.state = schedPending
 	r.tr.addRestart(t.tr)
+	countRestart(t.launcher.Name())
+	r.s.Tracer.Instant("restart", "orchestrator", t.tid, map[string]any{"task": t.Label, "attempt": t.attempt})
 	r.logf("task %s died (%v) with %d/%d units journaled — restarting with -resume (attempt %d/%d)",
 		t.Label, waitErr, p.Cells, t.Units, t.attempt, r.pol.MaxRetries)
 }
@@ -541,7 +599,12 @@ func (s *Supervisor) RunAndReport(ctx context.Context, streamAgg bool, stdout io
 	}
 	// A fresh context: the signal context may fire during the (local,
 	// cheap) gap re-run without invalidating the already-supervised work.
+	mergeStart := s.Tracer.Now()
 	failed, err := s.Plan.MergeReportFrom(context.Background(), paths, format, streamAgg, stdout, log)
+	if s.Tracer.Enabled() {
+		s.Tracer.Complete("merge", "orchestrator", 0, mergeStart, map[string]any{"journals": len(paths)})
+		_ = s.Tracer.Flush()
+	}
 	if err != nil {
 		fmt.Fprintf(log, "orchestrator: %v\n", err)
 		return 2

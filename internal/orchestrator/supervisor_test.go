@@ -280,3 +280,24 @@ func scanOf(n int) (p batch.JournalProgress) {
 	p.LastIndex = n - 1
 	return p
 }
+
+// TestTrackerSummary: the post-mortem line carries every task's cumulative
+// restart and carve counts, including thief tasks added mid-run.
+func TestTrackerSummary(t *testing.T) {
+	p, err := NewPlan(testSpec(), 2, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Unix(1000, 0)
+	tr := trackerOf(t, p, t0)
+	tr.addRestart(1)
+	tr.addRestart(1)
+	tr.recordCarve(0, 2)
+	tr.markStolen(0)
+	tr.add("s0.1", 3, t0)
+	got := tr.summary()
+	want := "task summary: s0 restarts=0 stolen=2, s1 restarts=2 stolen=0, s0.1 restarts=0 stolen=0"
+	if got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+}

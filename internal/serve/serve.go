@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 )
 
@@ -186,6 +187,7 @@ func (s *Server) StepRound() (float64, error) {
 	}
 	s.arrivalsTotal += int64(len(arrivals))
 	s.loadInjected += total
+	observeRound(phi, len(arrivals), total, s.sess.Loads())
 	if len(s.roundTimes) < cap(s.roundTimes) {
 		s.roundTimes = append(s.roundTimes, time.Now())
 	} else {
@@ -286,8 +288,11 @@ type arriveRequest struct {
 	Amount float64 `json:"amt"`
 }
 
-// Handler returns the HTTP surface: POST /arrive, GET /metrics,
-// GET /healthz.
+// Handler returns the HTTP surface: POST /arrive, GET /metrics (the JSON
+// document, shape unchanged since PR 8), GET /metrics/prom (Prometheus
+// text exposition of the process registry), GET /healthz, and the pprof
+// family under /debug/pprof/ — the standard observability trio on the one
+// daemon port.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/arrive", s.handleArrive)
@@ -300,6 +305,7 @@ func (s *Server) Handler() http.Handler {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "round": round, "draining": draining})
 	})
+	obs.RegisterDebug(mux, obs.Default())
 	return mux
 }
 
